@@ -1,0 +1,63 @@
+"""Ablation benchmarks for the §4.4 design choices (κ, ξ, τ, assignment rule,
+equal-size adjustment)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations, render_table
+
+
+def test_ablation_kappa_sweep(benchmark, sweep_scale):
+    payload = run_once(benchmark, ablations.sweep_kappa, sweep_scale,
+                       kappas=(5, 10, 20, 40))
+    print()
+    print(render_table(payload["table"],
+                       title="Ablation: GK-means quality vs kappa"))
+    rows = payload["table"]
+    # quality stabilises as kappa grows (paper: stable for kappa >= 40)
+    assert rows[-1]["distortion"] <= rows[0]["distortion"] * 1.05
+    # and larger kappa costs more iteration time
+    assert rows[-1]["iteration_seconds"] >= rows[0]["iteration_seconds"] * 0.5
+
+
+def test_ablation_xi_sweep(benchmark, sweep_scale):
+    payload = run_once(benchmark, ablations.sweep_xi, sweep_scale,
+                       xis=(20, 50, 100))
+    print()
+    print(render_table(payload["table"],
+                       title="Ablation: graph recall vs cluster size xi"))
+    rows = payload["table"]
+    # larger xi -> better graph (more within-cluster comparisons)
+    assert rows[-1]["recall"] >= rows[0]["recall"]
+
+
+def test_ablation_tau_sweep(benchmark, sweep_scale):
+    payload = run_once(benchmark, ablations.sweep_tau, sweep_scale,
+                       taus=(1, 2, 4, 8))
+    print()
+    print(render_table(payload["table"],
+                       title="Ablation: graph recall vs tau"))
+    rows = payload["table"]
+    assert rows[-1]["recall"] > rows[0]["recall"]
+    assert rows[-1]["construction_seconds"] > rows[0]["construction_seconds"]
+
+
+def test_ablation_assignment_rule(benchmark, sweep_scale):
+    payload = run_once(benchmark, ablations.compare_assignment, sweep_scale)
+    print()
+    print(render_table(payload["table"],
+                       title="Ablation: boost vs lloyd assignment in Alg. 2"))
+    rows = {row["assignment"]: row for row in payload["table"]}
+    assert rows["boost"]["distortion"] <= rows["lloyd"]["distortion"] * 1.02
+
+
+def test_ablation_equal_size(benchmark, sweep_scale):
+    payload = run_once(benchmark, ablations.compare_equal_size, sweep_scale)
+    print()
+    print(render_table(payload["table"],
+                       title="Ablation: two-means tree equal-size adjustment"))
+    rows = {row["equal_size"]: row for row in payload["table"]}
+    target = sweep_scale.n_samples / sweep_scale.n_clusters
+    # the adjustment bounds the largest leaf (what keeps Alg. 3's
+    # within-cluster comparison O(xi^2))
+    assert rows[True]["max_cluster"] <= 2 * target + 2
+    assert rows[True]["max_cluster"] <= rows[False]["max_cluster"]

@@ -1,0 +1,20 @@
+"""Benchmark of the §4.3 claim: the Alg. 3 graph supports ANN search."""
+
+from conftest import run_once
+
+from repro.experiments import anns_probe, render_table
+
+
+def test_anns_probe(benchmark, bench_scale):
+    payload = run_once(benchmark, anns_probe.run, bench_scale,
+                       n_queries=100, n_results=10, pool_size=64)
+    print()
+    print(render_table(payload["table"],
+                       title="ANNS probe (graph-based greedy search vs exact "
+                             "ground truth)"))
+
+    rows = {row["graph"]: row for row in payload["table"]}
+    for row in rows.values():
+        # usable recall at a small fraction of brute-force cost
+        assert row["recall@1"] >= 0.5
+        assert row["distance_evals"] < bench_scale.n_samples / 2

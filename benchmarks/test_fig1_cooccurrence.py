@@ -1,0 +1,22 @@
+"""Benchmark / regeneration of Fig. 1 (neighbour/cluster co-occurrence)."""
+
+from conftest import run_once
+
+from repro.experiments import fig1_cooccurrence, render_series
+
+
+def test_fig1_cooccurrence(benchmark, bench_scale):
+    payload = run_once(benchmark, fig1_cooccurrence.run, bench_scale,
+                       cluster_size=50, max_rank=50)
+    print()
+    print(render_series(payload["series"], x_label="rank",
+                        y_label="P(same cluster)",
+                        title="Fig. 1: co-occurrence of a sample and its "
+                              "k-th nearest neighbour"))
+    print(f"random collision baseline: {payload['random_collision']}")
+
+    for name, (ranks, curve) in payload["series"].items():
+        chance = payload["random_collision"][name]
+        # paper's shape: far above chance at rank 1, decreasing with rank
+        assert curve[0] > 5 * chance
+        assert curve[0] >= curve[-1]

@@ -1,0 +1,22 @@
+"""Benchmark / regeneration of Fig. 2 (recall and distortion vs τ)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2_graph_evolution, render_series
+
+
+def test_fig2_graph_and_clustering_evolve_together(benchmark, bench_scale):
+    payload = run_once(benchmark, fig2_graph_evolution.run, bench_scale,
+                       tau=bench_scale.graph_tau)
+    print()
+    print(render_series(payload["series"], x_label="tau",
+                        title="Fig. 2: KNN-graph recall and clustering "
+                              "distortion vs tau"))
+    print(f"construction time: {payload['construction_seconds']:.2f} s")
+
+    _, recalls = payload["series"]["recall"]
+    _, distortions = payload["series"]["distortion"]
+    # paper's shape: recall climbs (to >0.6 within ~5 rounds), distortion drops
+    assert recalls[-1] > recalls[0]
+    assert recalls[-1] > 0.6
+    assert distortions[-1] < distortions[0]

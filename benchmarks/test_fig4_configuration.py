@@ -1,0 +1,29 @@
+"""Benchmark / regeneration of Fig. 4 (distortion vs graph recall per
+configuration)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4_configuration, render_series, render_table
+
+
+def test_fig4_configuration_study(benchmark, sweep_scale):
+    payload = run_once(benchmark, fig4_configuration.run, sweep_scale,
+                       tau_budgets=(1, 2, 4, 8),
+                       nn_descent_budgets=(1, 2, 4))
+    print()
+    print(render_table(payload["table"],
+                       title="Fig. 4: final distortion vs supporting-graph "
+                             "recall"))
+    print(render_series(payload["series"], x_label="recall",
+                        y_label="distortion"))
+
+    series = payload["series"]
+    for name, (recalls, distortions) in series.items():
+        assert len(recalls) == len(distortions) >= 3
+
+    # Paper's shapes: (1) higher recall -> lower (or equal) distortion for the
+    # GK-means run; (2) boost assignment dominates lloyd assignment at the
+    # best recall level.
+    gk_recalls, gk_distortions = series["GK-means"]
+    assert gk_distortions[-1] <= gk_distortions[0] * 1.02
+    assert series["GK-means"][1][-1] <= series["GK-means-"][1][-1] * 1.05

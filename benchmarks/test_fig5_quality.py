@@ -1,0 +1,34 @@
+"""Benchmark / regeneration of Fig. 5 (distortion vs iteration and vs time on
+SIFT-, GloVe- and GIST-like data)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5_quality, render_series, render_table
+
+
+def test_fig5_distortion_vs_iteration_and_time(benchmark, bench_scale):
+    payload = run_once(benchmark, fig5_quality.run, bench_scale)
+    print()
+    for dataset, content in payload["datasets"].items():
+        print(render_table(
+            content["table"],
+            title=f"Fig. 5 [{dataset}]: final distortion / time summary"))
+        print(render_series(content["vs_iteration"], x_label="iteration",
+                            y_label="distortion",
+                            title=f"Fig. 5 [{dataset}]: distortion vs iteration"))
+        print()
+
+    for dataset, content in payload["datasets"].items():
+        rows = {row["method"]: row for row in content["table"]}
+        # Paper's qualitative ordering on every dataset:
+        #   BKM best quality; GK-means close behind (the gap is widest on the
+        #   imbalanced GloVe-like corpus, as in the paper's Fig. 5(c));
+        #   Mini-Batch clearly worst.
+        assert rows["GK-means"]["final_distortion"] <= \
+            rows["BKM"]["final_distortion"] * 1.25
+        assert rows["GK-means"]["final_distortion"] <= \
+            rows["Mini-Batch"]["final_distortion"]
+        assert rows["KGraph+GK-means"]["final_distortion"] <= \
+            rows["Mini-Batch"]["final_distortion"]
+        # and the graph-based runs converge in the iteration budget
+        assert rows["GK-means"]["iterations"] <= bench_scale.max_iter

@@ -1,0 +1,47 @@
+"""Benchmark / regeneration of Fig. 6(a) + Fig. 7(a): behaviour as the dataset
+size n grows at fixed k.
+
+Cost is reported both as wall-clock seconds and as the number of
+sample-to-candidate distance evaluations.  The evaluation count is the
+hardware-independent measure the paper's complexity analysis (§4.5) is about;
+it is what the assertions check, because the pure-Python implementation adds a
+per-sample interpreter overhead that compresses wall-clock gaps which are
+large in the authors' C++ implementation.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig67_scalability, render_series, render_table
+
+
+def test_fig6a_7a_cost_and_distortion_vs_n(benchmark, sweep_scale):
+    sizes = (sweep_scale.n_samples // 8, sweep_scale.n_samples // 4,
+             sweep_scale.n_samples // 2, sweep_scale.n_samples)
+    payload = run_once(benchmark, fig67_scalability.run_size_sweep,
+                       sweep_scale, sizes=sizes,
+                       n_clusters=sweep_scale.n_clusters)
+    print()
+    print(render_table(payload["table"],
+                       title="Fig. 6(a)/7(a): cost and distortion vs n "
+                             "(k fixed)"))
+    print(render_series(payload["series"], x_label="n", y_label="seconds",
+                        title="wall-clock"))
+    print(render_series(payload["evaluation_series"], x_label="n",
+                        y_label="evaluations", title="distance evaluations"))
+
+    evaluations = payload["evaluation_series"]
+    # cost grows with n for the full-data methods (sanity of the sweep);
+    # Mini-Batch's cost is fixed by its batch size, so it is exempt.
+    for method in ("k-means", "BKM", "GK-means", "closure k-means"):
+        ns, counts = evaluations[method]
+        if counts[0] is None:
+            continue
+        assert counts[-1] > counts[0]
+    # ... and GK-means does substantially less work than BKM at the largest
+    # size (the paper's Fig. 6(a) ordering).
+    assert evaluations["GK-means"][1][-1] < evaluations["BKM"][1][-1]
+
+    distortion = payload["distortion_series"]
+    # Fig. 7(a) shape: GK-means distortion close to BKM, Mini-Batch worst.
+    assert distortion["GK-means"][1][-1] <= distortion["BKM"][1][-1] * 1.15
+    assert distortion["GK-means"][1][-1] <= distortion["Mini-Batch"][1][-1]

@@ -1,0 +1,50 @@
+"""Benchmark / regeneration of Fig. 6(b) + Fig. 7(b): behaviour as the cluster
+count k grows at fixed n — the paper's central scalability claim (GK-means'
+per-iteration cost is nearly independent of k).
+
+As in the Fig. 6(a) benchmark, the assertions use distance-evaluation counts
+(hardware-independent); wall-clock numbers are printed alongside.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig67_scalability, render_series, render_table
+
+
+def test_fig6b_7b_cost_and_distortion_vs_k(benchmark, sweep_scale):
+    base_k = 16
+    cluster_counts = (base_k, base_k * 2, base_k * 4, base_k * 8)
+    payload = run_once(benchmark, fig67_scalability.run_cluster_sweep,
+                       sweep_scale, cluster_counts=cluster_counts,
+                       n_samples=sweep_scale.n_samples)
+    print()
+    print(render_table(payload["table"],
+                       title="Fig. 6(b)/7(b): cost and distortion vs k "
+                             "(n fixed)"))
+    print(render_series(payload["series"], x_label="k", y_label="seconds",
+                        title="wall-clock"))
+    print(render_series(payload["evaluation_series"], x_label="k",
+                        y_label="evaluations", title="distance evaluations"))
+
+    evaluations = payload["evaluation_series"]
+    growth = {}
+    for method, (ks, counts) in evaluations.items():
+        if counts[0] is None:
+            continue
+        growth[method] = counts[-1] / max(counts[0], 1)
+    print(f"evaluation growth for k x{cluster_counts[-1] // base_k}: {growth}")
+
+    # Paper's Fig. 6(b): k-means and BKM cost grows ~linearly with k (x8
+    # here), while the cost of GK-means (and closure k-means) stays nearly
+    # flat.  Require a clear separation.
+    assert growth["BKM"] > 4.0
+    assert growth["k-means"] > 4.0
+    assert growth["GK-means"] < growth["BKM"] / 2
+    assert growth["closure k-means"] < growth["BKM"] / 2
+
+    # Fig. 7(b): at the largest k the boost-based methods keep their quality
+    # edge, and GK-means' distortion decreases as k grows (finer clustering).
+    distortion = payload["distortion_series"]
+    assert distortion["GK-means"][1][-1] <= distortion["Mini-Batch"][1][-1]
+    assert distortion["GK-means"][1][-1] <= distortion["BKM"][1][-1] * 1.15
+    assert distortion["GK-means"][1][-1] <= distortion["GK-means"][1][0]

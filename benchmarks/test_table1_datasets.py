@@ -1,0 +1,14 @@
+"""Benchmark / regeneration of Table 1 (dataset overview)."""
+
+from conftest import run_once
+
+from repro.experiments import render_table, table1_datasets
+
+
+def test_table1_dataset_overview(benchmark, bench_scale):
+    payload = run_once(benchmark, table1_datasets.run, bench_scale)
+    print()
+    print(render_table(payload["table"],
+                       title="Table 1: dataset overview (paper vs stand-in)"))
+    names = {row["dataset"] for row in payload["table"]}
+    assert {"sift1m", "vlad10m", "glove1m", "gist1m"} <= names

@@ -1,0 +1,69 @@
+"""Approximate nearest-neighbour search on the GK-means k-NN graph (§4.3).
+
+The paper observes that the graph produced by its clustering-driven
+construction (Alg. 3) is good enough to serve approximate nearest-neighbour
+search directly.  This example builds the graph on a SIFT-like corpus, holds
+out queries, and evaluates greedy graph search against exact brute force at
+several candidate-pool sizes — the classic recall/latency trade-off curve.
+
+Run with::
+
+    python examples/ann_search.py
+"""
+
+from __future__ import annotations
+
+from repro import GraphSearcher, datasets
+from repro.experiments import render_table
+from repro.graph import build_knn_graph_by_clustering, nn_descent_knn_graph
+from repro.search import evaluate_search
+
+N_SAMPLES = 5_000
+N_FEATURES = 32
+N_NEIGHBORS = 16
+N_QUERIES = 100
+SEED = 2
+
+
+def main() -> None:
+    corpus = datasets.make_sift_like(N_SAMPLES, N_FEATURES, random_state=SEED)
+    base, queries = datasets.train_query_split(corpus, N_QUERIES,
+                                               random_state=SEED)
+    print(f"Reference set: {base.shape[0]} vectors, {N_QUERIES} queries")
+
+    print("Building the k-NN graph with Alg. 3 (GK-means construction) ...")
+    construction = build_knn_graph_by_clustering(
+        base, N_NEIGHBORS, tau=8, cluster_size=50, random_state=SEED)
+    print(f"  construction time: {construction.total_seconds:.1f} s")
+
+    print("Building the NN-Descent (KGraph) baseline graph ...")
+    kgraph = nn_descent_knn_graph(base, N_NEIGHBORS, random_state=SEED)
+
+    rows = []
+    for graph_name, graph in (("Alg.3 graph", construction.graph),
+                              ("NN-Descent graph", kgraph)):
+        for pool_size in (16, 32, 64, 128):
+            searcher = GraphSearcher(base, graph, pool_size=pool_size,
+                                     random_state=SEED)
+            evaluation = evaluate_search(searcher, queries, n_results=10)
+            rows.append({
+                "graph": graph_name,
+                "pool": pool_size,
+                "recall@1": evaluation.recall_at_1,
+                "recall@10": evaluation.recall_at_k,
+                "query_ms": evaluation.mean_query_seconds * 1000.0,
+                "evals/query": evaluation.mean_distance_evaluations,
+            })
+
+    print()
+    print(render_table(rows, title="Greedy graph search: recall vs pool size"))
+    print()
+    print("Expected shape: recall rises with the candidate pool while the"
+          " number of distance evaluations per query stays a small fraction"
+          f" of the {base.shape[0]}-point brute-force cost; the Alg.3 graph"
+          " performs on par with the NN-Descent graph despite being cheaper"
+          " to build.")
+
+
+if __name__ == "__main__":
+    main()

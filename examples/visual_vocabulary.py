@@ -1,0 +1,75 @@
+"""Visual-vocabulary construction: the large-k regime of the paper's Table 2.
+
+Building a visual vocabulary (bag-of-visual-words codebook) means clustering
+local descriptors into a very large number of clusters — the setting where
+traditional k-means becomes unusable because its cost is linear in k.  The
+paper's most extreme experiment partitions 10M VLAD descriptors into 1M
+clusters (10 samples per cluster); this example reproduces the regime at
+laptop scale (n/k = 10) and compares the two methods that remain workable,
+GK-means and closure k-means, on quality, time and work.
+
+Run with::
+
+    python examples/visual_vocabulary.py
+"""
+
+from __future__ import annotations
+
+from repro import ClosureKMeans, GKMeans, datasets
+from repro.experiments import format_seconds, render_table
+from repro.metrics import cluster_size_histogram
+
+N_SAMPLES = 4_000
+N_FEATURES = 48
+SAMPLES_PER_CLUSTER = 10
+SEED = 1
+
+
+def main() -> None:
+    n_clusters = N_SAMPLES // SAMPLES_PER_CLUSTER
+    print(f"Building a vocabulary of {n_clusters} visual words from "
+          f"{N_SAMPLES} VLAD-like descriptors ({N_FEATURES}-d)")
+    data = datasets.make_vlad_like(N_SAMPLES, N_FEATURES, random_state=SEED)
+
+    rows = []
+
+    print("GK-means (graph from Alg. 3) ...")
+    gk = GKMeans(n_clusters, n_neighbors=16, graph_tau=5,
+                 graph_cluster_size=50, max_iter=12, random_state=SEED)
+    gk.fit(data)
+    gk_sizes = cluster_size_histogram(gk.labels_, n_clusters)
+    rows.append({
+        "method": "GK-means",
+        "distortion": gk.distortion_,
+        "init": format_seconds(gk.result_.init_seconds),
+        "iterate": format_seconds(gk.result_.iteration_seconds),
+        "total": format_seconds(gk.result_.total_seconds),
+        "empty_words": gk_sizes["n_empty"],
+    })
+
+    print("closure k-means ...")
+    closure = ClosureKMeans(n_clusters, leaf_size=50, max_iter=12,
+                            random_state=SEED).fit(data)
+    closure_sizes = cluster_size_histogram(closure.labels_, n_clusters)
+    rows.append({
+        "method": "closure k-means",
+        "distortion": closure.distortion_,
+        "init": format_seconds(closure.result_.init_seconds),
+        "iterate": format_seconds(closure.result_.iteration_seconds),
+        "total": format_seconds(closure.result_.total_seconds),
+        "empty_words": closure_sizes["n_empty"],
+    })
+
+    print()
+    print(render_table(rows, title=f"Vocabulary of {n_clusters} words "
+                                   f"(Table 2 regime, n/k = "
+                                   f"{SAMPLES_PER_CLUSTER})"))
+    print()
+    print("Expected shape: GK-means reaches lower distortion (it optimises"
+          " the boost objective with graph-pruned candidates) and leaves"
+          " essentially no empty visual words, while per-iteration cost stays"
+          " independent of the vocabulary size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Clustering word embeddings: the paper's Glove1M workload at laptop scale.
+
+Word-embedding corpora are the hardest of the paper's datasets for equal-size
+initialisation because semantic neighbourhoods are heavily imbalanced.  This
+example clusters a GloVe-like stand-in with every method from the paper's
+Fig. 5 legend and prints the distortion-vs-iteration trade-off, plus external
+agreement (NMI) with the generating modes of the synthetic corpus — a check
+the real corpus cannot offer but the stand-in can.
+
+Run with::
+
+    python examples/web_scale_text_clustering.py
+"""
+
+from __future__ import annotations
+
+from repro import datasets
+from repro.experiments import render_series, render_table, run_method
+from repro.metrics import normalized_mutual_information
+
+N_SAMPLES = 5_000
+N_FEATURES = 50
+N_CLUSTERS = 100
+MAX_ITER = 15
+SEED = 3
+
+METHODS = ("Mini-Batch", "closure k-means", "k-means", "BKM", "GK-means")
+
+
+def main() -> None:
+    data, modes = datasets.make_glove_like(N_SAMPLES, N_FEATURES,
+                                           random_state=SEED,
+                                           return_labels=True)
+    print(f"GloVe-like corpus: {data.shape[0]} x {data.shape[1]} "
+          f"({len(set(modes.tolist()))} generating modes)")
+
+    rows = []
+    curves = {}
+    for method in METHODS:
+        options = {}
+        if method == "GK-means":
+            options = {"n_neighbors": 16, "graph_tau": 6,
+                       "graph_cluster_size": 50}
+        print(f"Running {method} ...")
+        run = run_method(method, data, N_CLUSTERS, max_iter=MAX_ITER,
+                         random_state=SEED, **options)
+        curves[method] = run.result.distortion_curve()
+        rows.append({
+            "method": method,
+            "distortion": run.distortion,
+            "nmi_vs_modes": normalized_mutual_information(
+                run.result.labels, modes),
+            "seconds": run.total_seconds,
+        })
+
+    print()
+    print(render_table(rows, title=f"Glove-like corpus, k={N_CLUSTERS}"))
+    print()
+    print(render_series(curves, x_label="iteration", y_label="distortion",
+                        title="distortion vs iteration (Fig. 5(c) shape)"))
+    print()
+    print("Expected shape: BKM and GK-means converge to the lowest"
+          " distortion; Mini-Batch converges fast but to a clearly worse"
+          " solution; GK-means matches BKM at a fraction of the"
+          " per-iteration comparisons.")
+
+
+if __name__ == "__main__":
+    main()

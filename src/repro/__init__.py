@@ -1,0 +1,73 @@
+"""repro — reproduction of "Fast k-means based on KNN Graph" (Deng & Zhao).
+
+The package implements the paper's GK-means algorithm, the k-NN-graph
+construction that powers it, the boost-k-means / two-means-tree machinery it
+is built on, every baseline it is compared against, synthetic stand-ins for
+the evaluation datasets and a harness regenerating every table and figure of
+the paper's evaluation section.
+
+Quickstart
+----------
+>>> from repro import GKMeans, datasets
+>>> data = datasets.make_sift_like(2000, 32, random_state=0)
+>>> model = GKMeans(n_clusters=50, n_neighbors=10, random_state=0).fit(data)
+>>> model.labels_.shape
+(2000,)
+"""
+
+from ._version import __version__
+from . import datasets, distance, graph, cluster, metrics, search
+from .cluster import (
+    BoostKMeans,
+    BisectingKMeans,
+    ClosureKMeans,
+    ElkanKMeans,
+    GKMeans,
+    HamerlyKMeans,
+    KMeans,
+    MiniBatchKMeans,
+    TwoMeansTree,
+)
+from .graph import (
+    KNNGraph,
+    brute_force_knn_graph,
+    build_knn_graph_by_clustering,
+    nn_descent_knn_graph,
+)
+from .search import GraphSearcher
+from .exceptions import (
+    DatasetError,
+    GraphError,
+    NotFittedError,
+    ReproError,
+    ValidationError,
+)
+
+__all__ = [
+    "__version__",
+    "datasets",
+    "distance",
+    "graph",
+    "cluster",
+    "metrics",
+    "search",
+    "GKMeans",
+    "KMeans",
+    "BoostKMeans",
+    "MiniBatchKMeans",
+    "ClosureKMeans",
+    "ElkanKMeans",
+    "HamerlyKMeans",
+    "BisectingKMeans",
+    "TwoMeansTree",
+    "KNNGraph",
+    "brute_force_knn_graph",
+    "build_knn_graph_by_clustering",
+    "nn_descent_knn_graph",
+    "GraphSearcher",
+    "ReproError",
+    "ValidationError",
+    "NotFittedError",
+    "DatasetError",
+    "GraphError",
+]

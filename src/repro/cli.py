@@ -1,0 +1,141 @@
+"""Command-line interface: run any of the paper's experiments from a shell.
+
+Examples
+--------
+Run the Fig. 2 graph-evolution experiment at the small preset::
+
+    python -m repro fig2 --preset small
+
+Partition a SIFT-like stand-in into 100 clusters and print a summary::
+
+    python -m repro cluster --dataset sift1m --n-samples 5000 --k 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import experiments
+from .datasets import list_datasets, load_dataset
+from .experiments import render_series, render_table
+from .experiments.config import DEFAULT, LARGE, SMALL, ExperimentScale
+from .experiments.runner import available_methods, run_method
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {"small": SMALL, "default": DEFAULT, "large": LARGE}
+
+_EXPERIMENTS = {
+    "fig1": experiments.fig1_cooccurrence.run,
+    "fig2": experiments.fig2_graph_evolution.run,
+    "fig4": experiments.fig4_configuration.run,
+    "fig5": experiments.fig5_quality.run,
+    "fig6": experiments.fig67_scalability.run,
+    "table1": experiments.table1_datasets.run,
+    "table2": experiments.table2_large_k.run,
+    "anns": experiments.anns_probe.run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="gkmeans",
+        description="Reproduction of 'Fast k-means based on KNN Graph'")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one of the paper's experiments")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--preset", choices=sorted(_PRESETS),
+                            default="small")
+    experiment.add_argument("--n-samples", type=int, default=None)
+    experiment.add_argument("--n-clusters", type=int, default=None)
+
+    # Short aliases: `gkmeans fig2` == `gkmeans experiment fig2`.
+    for name in _EXPERIMENTS:
+        alias = sub.add_parser(name, help=f"alias for 'experiment {name}'")
+        alias.add_argument("--preset", choices=sorted(_PRESETS),
+                           default="small")
+        alias.add_argument("--n-samples", type=int, default=None)
+        alias.add_argument("--n-clusters", type=int, default=None)
+
+    cluster = sub.add_parser("cluster", help="cluster a synthetic dataset")
+    cluster.add_argument("--dataset", choices=list_datasets(),
+                         default="sift1m")
+    cluster.add_argument("--method", choices=available_methods(),
+                         default="GK-means")
+    cluster.add_argument("--n-samples", type=int, default=5000)
+    cluster.add_argument("--n-features", type=int, default=32)
+    cluster.add_argument("--k", type=int, default=100)
+    cluster.add_argument("--max-iter", type=int, default=20)
+    cluster.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list datasets, methods and experiments")
+    return parser
+
+
+def _resolve_scale(args) -> ExperimentScale:
+    scale = _PRESETS[args.preset]
+    overrides = {}
+    if getattr(args, "n_samples", None):
+        overrides["n_samples"] = args.n_samples
+    if getattr(args, "n_clusters", None):
+        overrides["n_clusters"] = args.n_clusters
+    return scale.scaled(**overrides) if overrides else scale
+
+
+def _print_experiment(name: str, payload: dict) -> None:
+    print(f"== {name} ==")
+    if "table" in payload:
+        print(render_table(payload["table"]))
+    if "series" in payload:
+        print(render_series(payload["series"]))
+    if "datasets" in payload:
+        for dataset, content in payload["datasets"].items():
+            print(render_table(content["table"], title=f"[{dataset}]"))
+    for key in ("size_sweep", "cluster_sweep"):
+        if key in payload:
+            print(render_table(payload[key]["table"], title=key))
+    if "metadata" in payload:
+        print(f"metadata: {payload['metadata']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` / the ``gkmeans`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("datasets:   " + ", ".join(list_datasets()))
+        print("methods:    " + ", ".join(available_methods()))
+        print("experiments:" + " " + ", ".join(sorted(_EXPERIMENTS)))
+        return 0
+
+    if args.command == "cluster":
+        data = load_dataset(args.dataset, args.n_samples, args.n_features,
+                            random_state=args.seed)
+        run = run_method(args.method, data, args.k, max_iter=args.max_iter,
+                         random_state=args.seed)
+        print(render_table([{
+            "method": args.method,
+            "dataset": args.dataset,
+            "n": data.shape[0],
+            "d": data.shape[1],
+            "k": args.k,
+            "distortion": run.distortion,
+            "iterations": run.result.n_iterations,
+            "seconds": run.total_seconds,
+        }]))
+        return 0
+
+    name = args.name if args.command == "experiment" else args.command
+    scale = _resolve_scale(args)
+    payload = _EXPERIMENTS[name](scale)
+    _print_experiment(name, payload)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

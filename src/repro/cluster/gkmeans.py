@@ -1,0 +1,338 @@
+"""GK-means — the paper's Alg. 2: k-means driven by a k-NN graph.
+
+The algorithm keeps the incremental (boost) k-means optimisation but, for each
+visited sample, only considers the clusters in which the sample's κ nearest
+graph neighbours currently live.  The candidate set has at most κ entries
+(usually far fewer, since neighbours share clusters), so one sweep costs
+``O(n·d·κ)`` regardless of the cluster count ``k`` — that independence from
+``k`` is the whole point of the paper.
+
+Two assignment flavours are provided, matching §5.2's configuration study:
+
+* ``assignment="boost"`` — the standard **GK-means**: the best ΔI move
+  (Eqn. 3) among the candidate clusters is applied immediately.
+* ``assignment="lloyd"`` — **GK-means⁻**: the sample is assigned to the
+  nearest candidate *centroid*, centroids being recomputed once per sweep as
+  in traditional k-means.
+
+The supporting k-NN graph can be passed in explicitly (e.g. one produced by
+NN-Descent, the paper's "KGraph+GK-means" runs) or built internally with the
+paper's own construction (Alg. 3, ``graph_builder="clustering"``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..distance import DistanceCounter, cross_squared_euclidean, squared_norms
+from ..exceptions import ValidationError
+from ..validation import check_knn_indices, check_positive_int
+from .base import BaseClusterer, ClusteringResult, IterationRecord
+from .initialization import labels_to_centroids
+from .objective import ClusterState
+from .two_means_tree import two_means_labels
+
+__all__ = [
+    "GKMeans",
+    "gather_candidate_clusters",
+    "graph_guided_boost_pass",
+    "graph_guided_lloyd_assign",
+]
+
+
+def gather_candidate_clusters(labels: np.ndarray, neighbor_ids: np.ndarray,
+                              current: int) -> np.ndarray:
+    """Clusters in which the given neighbours live, plus the current cluster.
+
+    This is lines 7–11 of Alg. 2: the candidate set ``Q``.
+    """
+    valid = neighbor_ids[neighbor_ids >= 0]
+    candidates = labels[valid]
+    return np.unique(np.append(candidates, current))
+
+
+def graph_guided_boost_pass(state: ClusterState, neighbor_indices: np.ndarray,
+                            rng: np.random.Generator, *,
+                            protect_singletons: bool = True,
+                            counter=None) -> int:
+    """One incremental sweep of Alg. 2 over all samples in random order.
+
+    For every sample the candidate clusters are gathered from its graph
+    neighbours and the best positive ΔI move is applied immediately.  Returns
+    the number of moves performed.
+
+    ``counter`` (a :class:`~repro.distance.DistanceCounter`) accumulates the
+    number of sample-to-cluster evaluations performed — the quantity whose
+    reduction from ``k`` to at most κ per sample is the paper's speed-up.
+    """
+    n = neighbor_indices.shape[0]
+    labels = state.labels
+    moves = 0
+    for sample in rng.permutation(n):
+        sample = int(sample)
+        current = int(labels[sample])
+        if protect_singletons and state.counts[current] <= 1:
+            continue
+        candidates = gather_candidate_clusters(
+            labels, neighbor_indices[sample], current)
+        if counter is not None:
+            counter.add(candidates.size)
+        if candidates.size <= 1:
+            continue
+        deltas = state.delta_objective(sample, candidates)
+        best = int(np.argmax(deltas))
+        if deltas[best] > 0.0:
+            state.move(sample, int(candidates[best]))
+            moves += 1
+    return moves
+
+
+def graph_guided_lloyd_assign(data: np.ndarray, labels: np.ndarray,
+                              centroids: np.ndarray,
+                              neighbor_indices: np.ndarray, *,
+                              data_norms: np.ndarray | None = None,
+                              block_size: int = 1024) -> np.ndarray:
+    """Batch assignment restricted to graph-candidate centroids (GK-means⁻).
+
+    Every sample is compared against the centroids of the clusters containing
+    its graph neighbours (and its own current cluster); the closest wins.
+    Processed in blocks so the gathered ``(block, κ+1, d)`` centroid tensor
+    stays small.
+    """
+    n, _ = data.shape
+    if data_norms is None:
+        data_norms = squared_norms(data)
+    centroid_norms = squared_norms(centroids)
+
+    new_labels = np.empty(n, dtype=np.int64)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        block_neighbors = neighbor_indices[start:stop]
+        # Candidate cluster ids per sample: neighbours' labels + own label.
+        candidate_labels = labels[np.maximum(block_neighbors, 0)]
+        candidate_labels = np.where(block_neighbors >= 0, candidate_labels,
+                                    labels[start:stop, None])
+        candidate_labels = np.concatenate(
+            [candidate_labels, labels[start:stop, None]], axis=1)
+        gathered = centroids[candidate_labels]            # (b, κ+1, d)
+        dots = np.einsum("bd,bcd->bc", data[start:stop], gathered)
+        dists = (data_norms[start:stop, None]
+                 - 2.0 * dots + centroid_norms[candidate_labels])
+        best = np.argmin(dists, axis=1)
+        new_labels[start:stop] = candidate_labels[np.arange(stop - start), best]
+    return new_labels
+
+
+class GKMeans(BaseClusterer):
+    """Fast k-means driven by an (approximate) k-NN graph — Alg. 2.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    n_neighbors:
+        κ — number of graph neighbours considered per sample (paper default 50;
+        quality is reported to be stable for κ ≥ 40).
+    graph:
+        Optional pre-built :class:`~repro.graph.knngraph.KNNGraph` (or a plain
+        ``(n, κ)`` neighbour index array).  When omitted a graph is built
+        internally using ``graph_builder``.
+    graph_builder:
+        ``"clustering"`` (the paper's Alg. 3), ``"nn-descent"`` (the
+        KGraph+GK-means configuration) or ``"brute-force"`` (exact graph,
+        useful for ablations).  Ignored when ``graph`` is given.
+    graph_tau:
+        τ — rounds of the clustering-based graph construction (paper: 10).
+    graph_cluster_size:
+        ξ — target cluster size of the graph construction (paper: 50).
+    assignment:
+        ``"boost"`` for GK-means (default) or ``"lloyd"`` for GK-means⁻.
+    init:
+        ``"two-means"`` (Alg. 1, the paper's choice), ``"random"`` (random
+        balanced labels) or an explicit initial label vector.
+    bisection:
+        Bisection routine of the two-means tree (``"lloyd"`` or ``"boost"``).
+    max_iter:
+        Maximum number of sweeps.
+    min_moves:
+        Convergence threshold on the number of moves per sweep.
+    random_state:
+        Seed or generator.
+
+    Attributes
+    ----------
+    graph_:
+        The k-NN graph actually used (built or supplied).
+    """
+
+    def __init__(self, n_clusters: int, *, n_neighbors: int = 50,
+                 graph=None, graph_builder: str = "clustering",
+                 graph_tau: int = 10, graph_cluster_size: int = 50,
+                 assignment: str = "boost", init: object = "two-means",
+                 bisection: str = "lloyd", max_iter: int = 30,
+                 min_moves: int = 0, tol: float = 1e-4,
+                 random_state=None) -> None:
+        super().__init__(n_clusters, max_iter=max_iter,
+                         random_state=random_state)
+        self.n_neighbors = n_neighbors
+        self.graph = graph
+        self.graph_builder = graph_builder
+        self.graph_tau = graph_tau
+        self.graph_cluster_size = graph_cluster_size
+        self.assignment = assignment
+        self.init = init
+        self.bisection = bisection
+        self.min_moves = min_moves
+        self.tol = tol
+        self.graph_ = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def _fit(self, data: np.ndarray, n_clusters: int, max_iter: int,
+             rng: np.random.Generator) -> ClusteringResult:
+        if self.assignment not in {"boost", "lloyd"}:
+            raise ValidationError(
+                f"assignment must be 'boost' or 'lloyd', got {self.assignment!r}")
+        n_neighbors = check_positive_int(self.n_neighbors, name="n_neighbors",
+                                         maximum=max(1, data.shape[0] - 1))
+        min_moves = check_positive_int(self.min_moves, name="min_moves",
+                                       minimum=0)
+
+        init_start = time.perf_counter()
+        neighbor_indices, graph_seconds = self._resolve_graph(
+            data, n_neighbors, rng)
+        labels = self._initial_labels(data, n_clusters, rng)
+        state = ClusterState(data, labels, n_clusters)
+        init_seconds = time.perf_counter() - init_start
+
+        history: list[IterationRecord] = []
+        converged = False
+        counter = DistanceCounter()
+        iter_start = time.perf_counter()
+        if self.assignment == "boost":
+            for iteration in range(max_iter):
+                moves = graph_guided_boost_pass(state, neighbor_indices, rng,
+                                                counter=counter)
+                history.append(IterationRecord(
+                    iteration=iteration, distortion=state.distortion,
+                    elapsed_seconds=time.perf_counter() - iter_start,
+                    n_moves=moves))
+                if moves <= min_moves:
+                    converged = True
+                    break
+            labels = state.labels.copy()
+            centroids = state.centroids()
+            distortion = state.distortion
+        else:
+            data_norms = squared_norms(data)
+            labels = state.labels.copy()
+            centroids = state.centroids()
+            previous_distortion = np.inf
+            for iteration in range(max_iter):
+                new_labels = graph_guided_lloyd_assign(
+                    data, labels, centroids, neighbor_indices,
+                    data_norms=data_norms)
+                counter.add(data.shape[0] * (neighbor_indices.shape[1] + 1))
+                moves = int(np.sum(new_labels != labels))
+                labels = new_labels
+                centroids = labels_to_centroids(data, labels, n_clusters,
+                                                rng=rng)
+                diffs = data - centroids[labels]
+                distortion = float(
+                    np.einsum("ij,ij->i", diffs, diffs).mean())
+                history.append(IterationRecord(
+                    iteration=iteration, distortion=distortion,
+                    elapsed_seconds=time.perf_counter() - iter_start,
+                    n_moves=moves))
+                relative_gain_small = (
+                    np.isfinite(previous_distortion)
+                    and previous_distortion - distortion
+                    <= self.tol * max(previous_distortion, 1e-300))
+                if moves <= min_moves or relative_gain_small:
+                    converged = True
+                    break
+                previous_distortion = distortion
+            diffs = data - centroids[labels]
+            distortion = float(np.einsum("ij,ij->i", diffs, diffs).mean())
+        iteration_seconds = time.perf_counter() - iter_start
+
+        return ClusteringResult(
+            labels=labels, centroids=centroids, distortion=distortion,
+            history=history, converged=converged,
+            init_seconds=init_seconds, iteration_seconds=iteration_seconds,
+            extra={"graph_seconds": graph_seconds,
+                   "assignment": self.assignment,
+                   "n_neighbors": n_neighbors,
+                   "n_distance_evaluations": counter.count,
+                   "graph_distance_evaluations": self._graph_evaluations})
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _resolve_graph(self, data: np.ndarray, n_neighbors: int,
+                       rng: np.random.Generator) -> tuple[np.ndarray, float]:
+        """Return the ``(n, κ)`` neighbour index matrix plus build time."""
+        self._graph_evaluations = 0
+        if self.graph is not None:
+            indices = getattr(self.graph, "indices", self.graph)
+            indices = check_knn_indices(indices, data.shape[0])
+            if indices.shape[1] > n_neighbors:
+                indices = indices[:, :n_neighbors]
+            self.graph_ = self.graph
+            return np.ascontiguousarray(indices), 0.0
+
+        start = time.perf_counter()
+        builder = str(self.graph_builder).lower()
+        if builder == "clustering":
+            # Imported lazily: repro.graph.construction itself calls back into
+            # this module, and a module-level import would create a cycle.
+            from ..graph.construction import build_knn_graph_by_clustering
+            result = build_knn_graph_by_clustering(
+                data, n_neighbors, tau=self.graph_tau,
+                cluster_size=self.graph_cluster_size, random_state=rng)
+            graph = result.graph
+            self._graph_evaluations = result.n_distance_evaluations
+        elif builder in {"nn-descent", "nndescent", "kgraph"}:
+            from ..graph.nndescent import NNDescent
+            nn_builder = NNDescent(n_neighbors=n_neighbors, random_state=rng)
+            graph = nn_builder.build(data)
+            self._graph_evaluations = nn_builder.n_distance_evaluations_
+        elif builder in {"brute-force", "bruteforce", "exact"}:
+            from ..graph.bruteforce import brute_force_knn_graph
+            graph = brute_force_knn_graph(data, n_neighbors)
+        else:
+            raise ValidationError(
+                "graph_builder must be 'clustering', 'nn-descent' or "
+                f"'brute-force', got {self.graph_builder!r}")
+        self.graph_ = graph
+        return np.ascontiguousarray(graph.indices), time.perf_counter() - start
+
+    def _initial_labels(self, data: np.ndarray, n_clusters: int,
+                        rng: np.random.Generator) -> np.ndarray:
+        """Initial partition: two-means tree, random, or user-provided labels."""
+        if isinstance(self.init, str):
+            key = self.init.lower()
+            if key in {"two-means", "2m", "two_means"}:
+                return two_means_labels(data, n_clusters, random_state=rng,
+                                        bisection=self.bisection)
+            if key == "random":
+                labels = rng.integers(0, n_clusters,
+                                      size=data.shape[0]).astype(np.int64)
+                representatives = rng.choice(
+                    data.shape[0], size=min(n_clusters, data.shape[0]),
+                    replace=False)
+                labels[representatives] = np.arange(
+                    min(n_clusters, data.shape[0]))
+                return labels
+            raise ValidationError(
+                f"init must be 'two-means', 'random' or a label array, "
+                f"got {self.init!r}")
+        labels = np.asarray(self.init, dtype=np.int64)
+        if labels.shape != (data.shape[0],):
+            raise ValidationError(
+                f"init labels must have shape ({data.shape[0]},), "
+                f"got {labels.shape}")
+        return labels.copy()

@@ -1,0 +1,94 @@
+"""Traditional k-means (Lloyd's algorithm).
+
+This is the "k-means" baseline of the paper's figures: each iteration assigns
+every sample to its nearest centroid (cost ``O(n·d·k)`` — the bottleneck the
+paper attacks) and then recomputes the centroids as cluster means.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..distance import DistanceCounter, assign_to_nearest, squared_norms
+from .base import BaseClusterer, ClusteringResult, IterationRecord
+from .initialization import labels_to_centroids, resolve_init
+
+__all__ = ["KMeans"]
+
+
+class KMeans(BaseClusterer):
+    """Lloyd's k-means.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    init:
+        ``"random"``, ``"k-means++"`` or an explicit ``(k, d)`` centroid array.
+    max_iter:
+        Maximum number of assign/update iterations.
+    tol:
+        Relative distortion improvement below which the iteration stops.
+    random_state:
+        Seed or generator.
+    count_distances:
+        When true, the number of sample-to-centroid distance evaluations is
+        accumulated in ``result_.extra["n_distance_evaluations"]``.
+    """
+
+    def __init__(self, n_clusters: int, *, init: object = "random",
+                 max_iter: int = 30, tol: float = 1e-4, random_state=None,
+                 count_distances: bool = False) -> None:
+        super().__init__(n_clusters, max_iter=max_iter,
+                         random_state=random_state)
+        self.init = init
+        self.tol = tol
+        self.count_distances = count_distances
+
+    def _fit(self, data: np.ndarray, n_clusters: int, max_iter: int,
+             rng: np.random.Generator) -> ClusteringResult:
+        counter = DistanceCounter() if self.count_distances else None
+        data_norms = squared_norms(data)
+
+        init_start = time.perf_counter()
+        centroids = resolve_init(self.init, data, n_clusters, rng)
+        init_seconds = time.perf_counter() - init_start
+
+        history: list[IterationRecord] = []
+        previous_labels = np.full(data.shape[0], -1, dtype=np.int64)
+        previous_distortion = np.inf
+        converged = False
+        iter_start = time.perf_counter()
+        for iteration in range(max_iter):
+            labels, distances = assign_to_nearest(
+                data, centroids, data_norms=data_norms, counter=counter)
+            n_moves = int(np.sum(labels != previous_labels))
+            previous_labels = labels
+            distortion = float(distances.mean())
+            elapsed = time.perf_counter() - iter_start
+            history.append(IterationRecord(iteration=iteration,
+                                           distortion=distortion,
+                                           elapsed_seconds=elapsed,
+                                           n_moves=n_moves))
+            centroids = labels_to_centroids(data, labels, n_clusters, rng=rng)
+            if (np.isfinite(previous_distortion)
+                    and previous_distortion - distortion
+                    <= self.tol * max(previous_distortion, 1e-300)):
+                converged = True
+                break
+            previous_distortion = distortion
+        iteration_seconds = time.perf_counter() - iter_start
+
+        # Final distortion against the last centroid update.
+        labels, distances = assign_to_nearest(
+            data, centroids, data_norms=data_norms, counter=counter)
+        extra = {}
+        if counter is not None:
+            extra["n_distance_evaluations"] = counter.count
+        return ClusteringResult(
+            labels=labels, centroids=centroids,
+            distortion=float(distances.mean()), history=history,
+            converged=converged, init_seconds=init_seconds,
+            iteration_seconds=iteration_seconds, extra=extra)

@@ -1,0 +1,255 @@
+"""Composite-vector cluster state and the boost k-means objective.
+
+Boost k-means (Zhao et al.) rewrites the k-means distortion (Eqn. 1 of the
+paper) into the equivalent maximisation of
+
+.. math::
+
+    I = \\sum_{r=1}^{k} \\frac{D_r^\\top D_r}{n_r},
+
+where :math:`D_r = \\sum_{x_i \\in S_r} x_i` is the *composite vector* of
+cluster ``r`` and :math:`n_r` its size (Eqn. 2).  Because
+
+.. math::
+
+    \\sum_r \\sum_{x \\in S_r} \\lVert x - C_r \\rVert^2
+        = \\sum_i \\lVert x_i \\rVert^2 - I,
+
+maximising ``I`` minimises the distortion, and the distortion can be tracked
+in O(1) per move once ``I`` is maintained incrementally.
+
+:class:`ClusterState` maintains exactly this state — composite vectors,
+cluster sizes, squared norms — and exposes the move gain ΔI of Eqn. 3 for an
+arbitrary candidate set, which is what both :class:`~repro.cluster.boost.BoostKMeans`
+(candidates = all clusters) and :class:`~repro.cluster.gkmeans.GKMeans`
+(candidates = clusters of the κ graph neighbours) consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distance import assign_to_nearest, squared_norms
+from ..exceptions import ValidationError
+from ..validation import check_data_matrix, check_labels, check_positive_int
+
+__all__ = ["ClusterState", "boost_objective", "distortion_from_labels"]
+
+
+def boost_objective(data: np.ndarray, labels: np.ndarray,
+                    n_clusters: int) -> float:
+    """Evaluate the boost k-means objective ``I`` (Eqn. 2) from scratch."""
+    state = ClusterState(data, labels, n_clusters)
+    return state.objective
+
+
+def distortion_from_labels(data: np.ndarray, labels: np.ndarray,
+                           n_clusters: int | None = None) -> float:
+    """Average distortion (Eqn. 4) of a labelling, recomputed exactly.
+
+    Every sample contributes the squared distance to the centroid of the
+    cluster it is assigned to; the result is the mean over samples.
+    """
+    data = check_data_matrix(data)
+    labels = check_labels(labels, data.shape[0])
+    if n_clusters is None:
+        n_clusters = int(labels.max()) + 1 if labels.size else 0
+    state = ClusterState(data, labels, n_clusters)
+    return state.distortion
+
+
+class ClusterState:
+    """Incrementally maintained composite-vector representation of a clustering.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` sample matrix.  A reference is kept (not copied).
+    labels:
+        Initial assignment of every sample to a cluster in ``[0, n_clusters)``.
+    n_clusters:
+        Number of clusters ``k``.
+
+    Attributes
+    ----------
+    labels:
+        Current assignment (int64, owned by the state — mutated by
+        :meth:`move`).
+    composites:
+        ``(k, d)`` matrix of composite vectors :math:`D_r`.
+    counts:
+        ``(k,)`` cluster sizes :math:`n_r`.
+    """
+
+    def __init__(self, data: np.ndarray, labels: np.ndarray,
+                 n_clusters: int) -> None:
+        self._data = check_data_matrix(data)
+        n = self._data.shape[0]
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
+        self.labels = check_labels(labels, n).copy()
+        if self.labels.size and self.labels.max() >= self.n_clusters:
+            raise ValidationError(
+                f"labels refer to cluster {self.labels.max()} but only "
+                f"{self.n_clusters} clusters exist")
+
+        self._sample_sq_norms = squared_norms(self._data)
+        self._total_sq_norm = float(self._sample_sq_norms.sum())
+
+        self.composites = np.zeros((self.n_clusters, self._data.shape[1]),
+                                   dtype=np.float64)
+        np.add.at(self.composites, self.labels, self._data)
+        self.counts = np.bincount(self.labels,
+                                  minlength=self.n_clusters).astype(np.int64)
+        self._composite_sq_norms = squared_norms(self.composites)
+
+    # ------------------------------------------------------------------ #
+    # Objective and distortion
+    # ------------------------------------------------------------------ #
+    @property
+    def objective(self) -> float:
+        """Current value of the boost objective ``I`` (Eqn. 2)."""
+        nonempty = self.counts > 0
+        return float(np.sum(self._composite_sq_norms[nonempty]
+                            / self.counts[nonempty]))
+
+    @property
+    def distortion(self) -> float:
+        """Average distortion (Eqn. 4): ``(sum ||x||^2 - I) / n``."""
+        n = self._data.shape[0]
+        return (self._total_sq_norm - self.objective) / n
+
+    @property
+    def inertia(self) -> float:
+        """Total within-cluster sum of squared distances (Eqn. 1)."""
+        return self._total_sq_norm - self.objective
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def centroids(self) -> np.ndarray:
+        """Cluster centroids ``D_r / n_r``; empty clusters yield zero rows."""
+        safe_counts = np.maximum(self.counts, 1)
+        return self.composites / safe_counts[:, None]
+
+    def cluster_members(self, cluster: int) -> np.ndarray:
+        """Indices of the samples currently assigned to ``cluster``."""
+        return np.nonzero(self.labels == cluster)[0]
+
+    # ------------------------------------------------------------------ #
+    # Incremental moves (Eqn. 3)
+    # ------------------------------------------------------------------ #
+    def delta_objective(self, sample_index: int,
+                        candidates: np.ndarray) -> np.ndarray:
+        """ΔI of moving one sample to each candidate cluster (Eqn. 3).
+
+        Candidates equal to the sample's current cluster get ΔI = 0 (a no-op
+        move); candidates that would receive the sample as a new member get the
+        full Eqn. 3 value.  Moving the last member out of a singleton cluster
+        is scored as if the source cluster simply disappears (its term drops to
+        zero), matching the objective's definition over non-empty clusters.
+        """
+        candidates = np.asarray(candidates, dtype=np.int64)
+        x = self._data[sample_index]
+        x_sq = self._sample_sq_norms[sample_index]
+        source = int(self.labels[sample_index])
+
+        source_count = self.counts[source]
+        source_sq = self._composite_sq_norms[source]
+        if source_count > 1:
+            removed_sq = (source_sq
+                          - 2.0 * float(self.composites[source] @ x) + x_sq)
+            source_term = removed_sq / (source_count - 1) - source_sq / source_count
+        else:
+            # The source cluster becomes empty; its contribution vanishes.
+            source_term = -source_sq / source_count
+
+        cand_counts = self.counts[candidates].astype(np.float64)
+        cand_sq = self._composite_sq_norms[candidates]
+        cand_dot = self.composites[candidates] @ x
+        grown_sq = cand_sq + 2.0 * cand_dot + x_sq
+        with np.errstate(divide="ignore", invalid="ignore"):
+            target_term = grown_sq / (cand_counts + 1.0) - np.where(
+                cand_counts > 0, cand_sq / np.maximum(cand_counts, 1.0), 0.0)
+        deltas = target_term + source_term
+        deltas[candidates == source] = 0.0
+        return deltas
+
+    def best_move(self, sample_index: int,
+                  candidates: np.ndarray,
+                  *, allow_empty_source: bool = False) -> tuple[int, float]:
+        """Best candidate cluster and its ΔI for one sample.
+
+        Parameters
+        ----------
+        sample_index:
+            The sample being considered.
+        candidates:
+            Candidate cluster ids (may include the current cluster).
+        allow_empty_source:
+            If false (default) and the sample is the last member of its
+            cluster, the move is suppressed (ΔI reported as 0) so the number
+            of non-empty clusters never drops below ``k``.
+        """
+        source = int(self.labels[sample_index])
+        if not allow_empty_source and self.counts[source] <= 1:
+            return source, 0.0
+        deltas = self.delta_objective(sample_index, candidates)
+        best = int(np.argmax(deltas))
+        return int(candidates[best]), float(deltas[best])
+
+    def move(self, sample_index: int, target: int) -> None:
+        """Move one sample to ``target``, updating all incremental state."""
+        source = int(self.labels[sample_index])
+        if target == source:
+            return
+        x = self._data[sample_index]
+        x_sq = self._sample_sq_norms[sample_index]
+
+        self._composite_sq_norms[source] += (
+            -2.0 * float(self.composites[source] @ x) + x_sq)
+        self.composites[source] -= x
+        self.counts[source] -= 1
+
+        self._composite_sq_norms[target] += (
+            2.0 * float(self.composites[target] @ x) + x_sq)
+        self.composites[target] += x
+        self.counts[target] += 1
+
+        self.labels[sample_index] = target
+
+    # ------------------------------------------------------------------ #
+    # Consistency helpers (used by tests and after bulk label edits)
+    # ------------------------------------------------------------------ #
+    def recompute(self) -> None:
+        """Rebuild composites/counts/norms from the current labels."""
+        self.composites[:] = 0.0
+        np.add.at(self.composites, self.labels, self._data)
+        self.counts = np.bincount(self.labels,
+                                  minlength=self.n_clusters).astype(np.int64)
+        self._composite_sq_norms = squared_norms(self.composites)
+
+    def check_consistency(self, *, atol: float = 1e-6) -> bool:
+        """Verify the incremental state matches a from-scratch recomputation."""
+        composites = np.zeros_like(self.composites)
+        np.add.at(composites, self.labels, self._data)
+        counts = np.bincount(self.labels, minlength=self.n_clusters)
+        return (np.allclose(composites, self.composites, atol=atol)
+                and np.array_equal(counts, self.counts)
+                and np.allclose(squared_norms(composites),
+                                self._composite_sq_norms, atol=atol))
+
+    # ------------------------------------------------------------------ #
+    # Interop with batch (Lloyd-style) algorithms
+    # ------------------------------------------------------------------ #
+    def reassign_all_to_nearest(self) -> int:
+        """One Lloyd pass: assign all samples to the nearest current centroid.
+
+        Returns the number of samples whose label changed; the incremental
+        state is rebuilt afterwards.
+        """
+        centroids = self.centroids()
+        new_labels, _ = assign_to_nearest(self._data, centroids)
+        changed = int(np.sum(new_labels != self.labels))
+        self.labels = new_labels
+        self.recompute()
+        return changed

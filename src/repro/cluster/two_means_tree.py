@@ -1,0 +1,214 @@
+"""Two-means (2M) tree — Alg. 1 of the paper.
+
+The two-means tree is a variant of hierarchical bisecting k-means used to
+produce the *initial* partition for GK-means (and to drive the clustering step
+inside the KNN-graph construction).  It repeatedly pops the largest cluster,
+bisects it into two clusters and then **adjusts the two halves to equal
+size**, until ``k`` clusters exist.  The equal-size adjustment is what keeps
+every leaf at roughly ``n/k`` samples, which the graph-construction step
+relies on (the within-cluster exhaustive comparison must stay ``O(ξ²)``).
+
+Complexity is ``O(d·n·log k)`` — cheaper than a single Lloyd iteration when
+``k`` is large — which is why the paper uses it instead of k-means++ style
+seeding.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+import numpy as np
+
+from ..distance import cross_squared_euclidean
+from ..exceptions import ValidationError
+from ..validation import check_data_matrix, check_positive_int, check_random_state
+from .base import BaseClusterer, ClusteringResult, IterationRecord
+from .objective import ClusterState
+
+__all__ = ["TwoMeansTree", "two_means_labels"]
+
+
+def _bisect_lloyd(data: np.ndarray, members: np.ndarray,
+                  rng: np.random.Generator, n_iter: int) -> np.ndarray:
+    """Split ``members`` into two groups with a few vectorised 2-means steps.
+
+    Returns a boolean mask over ``members``: True = second group.
+    """
+    subset = data[members]
+    seeds = rng.choice(members.size, size=2, replace=False)
+    centroids = subset[seeds].copy()
+    assignment = np.zeros(members.size, dtype=bool)
+    for _ in range(n_iter):
+        distances = cross_squared_euclidean(subset, centroids)
+        new_assignment = distances[:, 1] < distances[:, 0]
+        if new_assignment.all() or not new_assignment.any():
+            # Degenerate split (identical seeds); perturb by random halving.
+            new_assignment = np.zeros(members.size, dtype=bool)
+            new_assignment[rng.permutation(members.size)[: members.size // 2]] = True
+        if np.array_equal(new_assignment, assignment):
+            assignment = new_assignment
+            break
+        assignment = new_assignment
+        centroids[0] = subset[~assignment].mean(axis=0)
+        centroids[1] = subset[assignment].mean(axis=0)
+    return assignment
+
+
+def _bisect_boost(data: np.ndarray, members: np.ndarray,
+                  rng: np.random.Generator, n_iter: int) -> np.ndarray:
+    """Split ``members`` with a small incremental (boost) 2-means.
+
+    This is the faithful version of the paper's Step 8 ("boost k-means is
+    integrated in the bisecting operation"); it is slower than the vectorised
+    Lloyd bisection because samples are visited one at a time.
+    """
+    subset = data[members]
+    labels = rng.integers(0, 2, size=members.size).astype(np.int64)
+    if labels.min() == labels.max():
+        labels[rng.integers(members.size)] = 1 - labels[0]
+    state = ClusterState(subset, labels, 2)
+    both = np.arange(2, dtype=np.int64)
+    for _ in range(n_iter):
+        moves = 0
+        for sample in rng.permutation(members.size):
+            target, gain = state.best_move(int(sample), both)
+            if gain > 0:
+                state.move(int(sample), target)
+                moves += 1
+        if moves == 0:
+            break
+    return state.labels.astype(bool)
+
+
+def _equalize(data: np.ndarray, members: np.ndarray,
+              assignment: np.ndarray) -> np.ndarray:
+    """Adjust a bisection so both halves have (almost) equal size (Alg. 1, l. 9).
+
+    Samples are ranked by how much closer they are to the second centroid than
+    to the first; the top half goes to the second cluster.  This preserves the
+    spatial structure of the split while forcing balance.
+    """
+    subset = data[members]
+    if assignment.any() and (~assignment).any():
+        centroid_a = subset[~assignment].mean(axis=0)
+        centroid_b = subset[assignment].mean(axis=0)
+    else:
+        # Degenerate: split arbitrarily around the global mean direction.
+        centroid_a = subset.mean(axis=0)
+        centroid_b = centroid_a + 1e-9
+    dist_a = cross_squared_euclidean(subset, centroid_a[None, :])[:, 0]
+    dist_b = cross_squared_euclidean(subset, centroid_b[None, :])[:, 0]
+    preference = dist_a - dist_b  # larger = prefers cluster b
+    half = members.size // 2
+    order = np.argsort(preference, kind="stable")
+    balanced = np.zeros(members.size, dtype=bool)
+    balanced[order[members.size - half:]] = True
+    return balanced
+
+
+def two_means_labels(data: np.ndarray, n_clusters: int, *, random_state=None,
+                     bisection: str = "lloyd", bisect_iter: int = 4,
+                     equal_size: bool = True) -> np.ndarray:
+    """Run Alg. 1 and return the cluster label of every sample.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` sample matrix.
+    n_clusters:
+        Number of leaves ``k`` to produce.
+    random_state:
+        Seed or generator.
+    bisection:
+        ``"lloyd"`` (vectorised 2-means, the fast default) or ``"boost"``
+        (incremental 2-means as in the paper's Step 8).
+    bisect_iter:
+        Iterations of the inner 2-means per bisection.
+    equal_size:
+        Apply the equal-size adjustment (Alg. 1, line 9).  Disabling it turns
+        the procedure into plain bisecting k-means by largest cluster and is
+        exposed for the ablation benchmarks.
+    """
+    data = check_data_matrix(data, min_samples=1)
+    n = data.shape[0]
+    n_clusters = check_positive_int(n_clusters, name="n_clusters", maximum=n)
+    bisect_iter = check_positive_int(bisect_iter, name="bisect_iter")
+    if bisection not in {"lloyd", "boost"}:
+        raise ValidationError(
+            f"bisection must be 'lloyd' or 'boost', got {bisection!r}")
+    rng = check_random_state(random_state)
+    bisect = _bisect_lloyd if bisection == "lloyd" else _bisect_boost
+
+    labels = np.zeros(n, dtype=np.int64)
+    # Priority queue keyed by negative size; ties broken by insertion order.
+    heap: list[tuple[int, int, np.ndarray]] = []
+    counter = 0
+    heapq.heappush(heap, (-n, counter, np.arange(n, dtype=np.int64)))
+    next_label = 1
+    while next_label < n_clusters:
+        neg_size, _, members = heapq.heappop(heap)
+        size = -neg_size
+        if size <= 1:
+            # Cannot split further; put it back and stop growing.
+            counter += 1
+            heapq.heappush(heap, (neg_size, counter, members))
+            break
+        assignment = bisect(data, members, rng, bisect_iter)
+        if equal_size:
+            assignment = _equalize(data, members, assignment)
+        group_a = members[~assignment]
+        group_b = members[assignment]
+        if group_a.size == 0 or group_b.size == 0:
+            half = members.size // 2
+            group_a, group_b = members[:half], members[half:]
+        labels[group_b] = next_label
+        counter += 1
+        heapq.heappush(heap, (-group_a.size, counter, group_a))
+        counter += 1
+        heapq.heappush(heap, (-group_b.size, counter, group_b))
+        next_label += 1
+    return labels
+
+
+class TwoMeansTree(BaseClusterer):
+    """Estimator wrapper around :func:`two_means_labels` (Alg. 1).
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    bisection:
+        ``"lloyd"`` or ``"boost"`` (see :func:`two_means_labels`).
+    bisect_iter:
+        Inner 2-means iterations per bisection.
+    equal_size:
+        Whether to apply the equal-size adjustment.
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(self, n_clusters: int, *, bisection: str = "lloyd",
+                 bisect_iter: int = 4, equal_size: bool = True,
+                 random_state=None) -> None:
+        super().__init__(n_clusters, max_iter=1, random_state=random_state)
+        self.bisection = bisection
+        self.bisect_iter = bisect_iter
+        self.equal_size = equal_size
+
+    def _fit(self, data: np.ndarray, n_clusters: int, max_iter: int,
+             rng: np.random.Generator) -> ClusteringResult:
+        start = time.perf_counter()
+        labels = two_means_labels(
+            data, n_clusters, random_state=rng, bisection=self.bisection,
+            bisect_iter=self.bisect_iter, equal_size=self.equal_size)
+        state = ClusterState(data, labels, n_clusters)
+        elapsed = time.perf_counter() - start
+        history = [IterationRecord(iteration=0, distortion=state.distortion,
+                                   elapsed_seconds=elapsed, n_moves=0)]
+        return ClusteringResult(
+            labels=labels, centroids=state.centroids(),
+            distortion=state.distortion, history=history, converged=True,
+            init_seconds=elapsed, iteration_seconds=0.0,
+            extra={"cluster_sizes": np.bincount(labels,
+                                                minlength=n_clusters)})

@@ -1,0 +1,42 @@
+"""Dataset substrate.
+
+The paper evaluates on SIFT1M, GIST1M, Glove1M and VLAD10M.  Those corpora are
+not redistributable here, so this subpackage provides synthetic stand-ins that
+preserve the properties the algorithms actually depend on (clustered l2
+geometry, heavy-tailed / imbalanced structure, the relevant dimensionalities)
+plus readers and writers for the ``fvecs``/``ivecs``/``bvecs`` formats the
+original corpora ship in, so real data can be dropped in unchanged.
+"""
+
+from .synthetic import make_blobs, make_imbalanced_blobs, make_hierarchical_blobs
+from .descriptors import (
+    make_sift_like,
+    make_gist_like,
+    make_glove_like,
+    make_vlad_like,
+)
+from .io import read_fvecs, write_fvecs, read_ivecs, write_ivecs, read_bvecs, write_bvecs
+from .registry import DatasetSpec, DATASET_REGISTRY, load_dataset, list_datasets
+from .sampling import train_query_split, subsample
+
+__all__ = [
+    "make_blobs",
+    "make_imbalanced_blobs",
+    "make_hierarchical_blobs",
+    "make_sift_like",
+    "make_gist_like",
+    "make_glove_like",
+    "make_vlad_like",
+    "read_fvecs",
+    "write_fvecs",
+    "read_ivecs",
+    "write_ivecs",
+    "read_bvecs",
+    "write_bvecs",
+    "DatasetSpec",
+    "DATASET_REGISTRY",
+    "load_dataset",
+    "list_datasets",
+    "train_query_split",
+    "subsample",
+]

@@ -1,0 +1,105 @@
+"""Readers and writers for the ``fvecs`` / ``ivecs`` / ``bvecs`` formats.
+
+These are the on-disk formats used by the original SIFT1M / GIST1M corpora
+(TEXMEX) and by VLAD/YFCC releases.  Implementing them means real corpora can
+be dropped into the benchmark harness unchanged: every vector is stored as a
+little-endian ``int32`` dimension header followed by ``dim`` components
+(``float32`` for fvecs, ``int32`` for ivecs, ``uint8`` for bvecs).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DatasetError
+
+__all__ = [
+    "read_fvecs",
+    "write_fvecs",
+    "read_ivecs",
+    "write_ivecs",
+    "read_bvecs",
+    "write_bvecs",
+]
+
+
+def _read_vecs(path, component_dtype, component_size: int,
+               max_vectors: int | None) -> np.ndarray:
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"vector file does not exist: {path}")
+    raw = np.fromfile(path, dtype=np.uint8)
+    if raw.size == 0:
+        return np.empty((0, 0), dtype=component_dtype)
+    if raw.size < 4:
+        raise DatasetError(f"truncated vector file: {path}")
+    dim = int(np.frombuffer(raw[:4].tobytes(), dtype="<i4")[0])
+    if dim <= 0:
+        raise DatasetError(f"invalid dimension {dim} in {path}")
+    record = 4 + dim * component_size
+    if raw.size % record != 0:
+        raise DatasetError(
+            f"file size {raw.size} of {path} is not a multiple of the record "
+            f"size {record} (dim={dim})")
+    count = raw.size // record
+    if max_vectors is not None:
+        count = min(count, int(max_vectors))
+        raw = raw[: count * record]
+    records = raw.reshape(count, record)
+    headers = records[:, :4].copy().view("<i4").ravel()
+    if not np.all(headers == dim):
+        raise DatasetError(f"inconsistent dimensions in {path}")
+    body = records[:, 4:].copy().view(component_dtype)
+    return np.ascontiguousarray(body.reshape(count, dim))
+
+
+def _write_vecs(path, data: np.ndarray, component_dtype) -> None:
+    data = np.atleast_2d(np.asarray(data))
+    if data.ndim != 2:
+        raise DatasetError("only 2-D arrays can be written to *.vecs files")
+    count, dim = data.shape
+    path = Path(path)
+    os.makedirs(path.parent, exist_ok=True) if str(path.parent) else None
+    body = np.ascontiguousarray(data, dtype=component_dtype)
+    header = np.full((count, 1), dim, dtype="<i4")
+    with open(path, "wb") as handle:
+        interleaved = np.concatenate(
+            [header.view(np.uint8).reshape(count, 4),
+             body.view(np.uint8).reshape(count, -1)], axis=1)
+        interleaved.tofile(handle)
+
+
+def read_fvecs(path, *, max_vectors: int | None = None) -> np.ndarray:
+    """Read a ``.fvecs`` file into a ``(n, d)`` float32 array."""
+    return _read_vecs(path, "<f4", 4, max_vectors)
+
+
+def write_fvecs(path, data: np.ndarray) -> None:
+    """Write a ``(n, d)`` array to ``.fvecs`` (cast to float32)."""
+    _write_vecs(path, data, "<f4")
+
+
+def read_ivecs(path, *, max_vectors: int | None = None) -> np.ndarray:
+    """Read a ``.ivecs`` file (e.g. ground-truth neighbour ids)."""
+    return _read_vecs(path, "<i4", 4, max_vectors)
+
+
+def write_ivecs(path, data: np.ndarray) -> None:
+    """Write a ``(n, d)`` integer array to ``.ivecs``."""
+    _write_vecs(path, data, "<i4")
+
+
+def read_bvecs(path, *, max_vectors: int | None = None) -> np.ndarray:
+    """Read a ``.bvecs`` file (byte-quantised descriptors, e.g. SIFT1B)."""
+    return _read_vecs(path, np.uint8, 1, max_vectors)
+
+
+def write_bvecs(path, data: np.ndarray) -> None:
+    """Write a ``(n, d)`` array of bytes to ``.bvecs``."""
+    data = np.asarray(data)
+    if data.size and (data.min() < 0 or data.max() > 255):
+        raise DatasetError("bvecs components must lie in [0, 255]")
+    _write_vecs(path, data, np.uint8)

@@ -1,0 +1,125 @@
+"""Registry of named datasets (the scaled stand-ins for the paper's Table 1).
+
+Every entry mirrors one row of Table 1 in the paper.  The ``paper_size`` /
+``paper_dim`` fields document the original corpus; ``default_size`` /
+``default_dim`` are the laptop-scale defaults used by the benchmark harness.
+Both size and dimensionality can be overridden at load time, so the same code
+runs the full-scale experiment if the user has the time (and, via
+:mod:`repro.datasets.io`, the real corpora).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..validation import check_positive_int
+from .descriptors import (
+    make_gist_like,
+    make_glove_like,
+    make_sift_like,
+    make_vlad_like,
+)
+
+__all__ = ["DatasetSpec", "DATASET_REGISTRY", "load_dataset", "list_datasets"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one dataset stand-in.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"sift1m"``).
+    paper_size, paper_dim:
+        Scale used in the paper's Table 1.
+    default_size, default_dim:
+        Scaled-down defaults used by the local benchmarks.
+    data_type:
+        Human-readable description matching Table 1's "Data type" column.
+    generator:
+        Callable ``(n_samples, n_features, random_state, return_labels)`` that
+        synthesises the stand-in.
+    """
+
+    name: str
+    paper_size: int
+    paper_dim: int
+    default_size: int
+    default_dim: int
+    data_type: str
+    generator: Callable = field(repr=False, compare=False)
+
+    def generate(self, n_samples: int | None = None,
+                 n_features: int | None = None, *, random_state=None,
+                 return_labels: bool = False):
+        """Generate the stand-in at the requested (or default) scale."""
+        n_samples = check_positive_int(
+            self.default_size if n_samples is None else n_samples,
+            name="n_samples")
+        n_features = check_positive_int(
+            self.default_dim if n_features is None else n_features,
+            name="n_features")
+        return self.generator(n_samples, n_features,
+                              random_state=random_state,
+                              return_labels=return_labels)
+
+
+DATASET_REGISTRY: dict[str, DatasetSpec] = {
+    "sift1m": DatasetSpec(
+        name="sift1m", paper_size=1_000_000, paper_dim=128,
+        default_size=10_000, default_dim=32,
+        data_type="SIFT local descriptors", generator=make_sift_like),
+    "sift100k": DatasetSpec(
+        name="sift100k", paper_size=100_000, paper_dim=128,
+        default_size=5_000, default_dim=32,
+        data_type="SIFT local descriptors (subset)", generator=make_sift_like),
+    "vlad10m": DatasetSpec(
+        name="vlad10m", paper_size=10_000_000, paper_dim=512,
+        default_size=20_000, default_dim=64,
+        data_type="VLAD aggregated descriptors (YFCC100M)",
+        generator=make_vlad_like),
+    "glove1m": DatasetSpec(
+        name="glove1m", paper_size=1_000_000, paper_dim=100,
+        default_size=10_000, default_dim=50,
+        data_type="GloVe word embeddings", generator=make_glove_like),
+    "gist1m": DatasetSpec(
+        name="gist1m", paper_size=1_000_000, paper_dim=960,
+        default_size=8_000, default_dim=96,
+        data_type="GIST global descriptors", generator=make_gist_like),
+}
+
+
+def list_datasets() -> list[str]:
+    """Names of all registered datasets, in Table 1 order."""
+    return list(DATASET_REGISTRY)
+
+
+def load_dataset(name: str, n_samples: int | None = None,
+                 n_features: int | None = None, *, random_state=None,
+                 return_labels: bool = False) -> np.ndarray:
+    """Generate a registered dataset stand-in by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`list_datasets` (case-insensitive).
+    n_samples, n_features:
+        Optional overrides of the scaled-down defaults.
+    random_state:
+        Seed for reproducibility.
+    return_labels:
+        If true, also return the generating-mode labels (useful for external
+        quality metrics such as NMI).
+    """
+    key = str(name).lower()
+    if key not in DATASET_REGISTRY:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(list_datasets())}")
+    return DATASET_REGISTRY[key].generate(
+        n_samples, n_features, random_state=random_state,
+        return_labels=return_labels)

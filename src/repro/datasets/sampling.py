@@ -1,0 +1,50 @@
+"""Sampling utilities: subsampling and train/query splits for ANNS evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..validation import check_data_matrix, check_positive_int, check_random_state
+
+__all__ = ["subsample", "train_query_split"]
+
+
+def subsample(data: np.ndarray, n_samples: int, *, random_state=None,
+              return_indices: bool = False):
+    """Uniform subsample of ``n_samples`` rows without replacement.
+
+    Used by the scalability sweeps (Fig. 6a / 7a vary ``n`` from 10K to 10M on
+    the same corpus) so that every sweep point is a nested subset of the next.
+    """
+    data = check_data_matrix(data)
+    n_samples = check_positive_int(n_samples, name="n_samples")
+    if n_samples > data.shape[0]:
+        raise ValidationError(
+            f"cannot subsample {n_samples} rows from {data.shape[0]}")
+    rng = check_random_state(random_state)
+    indices = rng.choice(data.shape[0], size=n_samples, replace=False)
+    indices.sort()
+    if return_indices:
+        return data[indices], indices
+    return data[indices]
+
+
+def train_query_split(data: np.ndarray, n_queries: int, *, random_state=None
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Split a corpus into a reference set and held-out queries.
+
+    The ANNS experiments search the graph built on the reference set using the
+    held-out queries, mirroring the standard TEXMEX base/query protocol.
+    """
+    data = check_data_matrix(data, min_samples=2)
+    n_queries = check_positive_int(n_queries, name="n_queries")
+    if n_queries >= data.shape[0]:
+        raise ValidationError(
+            f"n_queries={n_queries} must be smaller than the corpus size "
+            f"{data.shape[0]}")
+    rng = check_random_state(random_state)
+    query_idx = rng.choice(data.shape[0], size=n_queries, replace=False)
+    mask = np.ones(data.shape[0], dtype=bool)
+    mask[query_idx] = False
+    return data[mask], data[query_idx]

@@ -1,0 +1,113 @@
+"""Generic synthetic cluster generators.
+
+These are the building blocks for the descriptor-specific generators in
+:mod:`repro.datasets.descriptors` and are also used directly by the unit tests
+because they come with ground-truth labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..validation import check_positive_int, check_random_state
+
+__all__ = ["make_blobs", "make_imbalanced_blobs", "make_hierarchical_blobs"]
+
+
+def make_blobs(n_samples: int, n_features: int, n_clusters: int, *,
+               cluster_std: float = 1.0, center_box: float = 10.0,
+               random_state=None) -> tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian blobs with equally likely clusters.
+
+    Parameters
+    ----------
+    n_samples, n_features, n_clusters:
+        Shape of the generated dataset.
+    cluster_std:
+        Standard deviation of every cluster.
+    center_box:
+        Cluster centres are drawn uniformly from ``[-center_box, center_box]``.
+    random_state:
+        Seed or generator for reproducibility.
+
+    Returns
+    -------
+    (data, labels):
+        ``data`` has shape ``(n_samples, n_features)``; ``labels`` holds the
+        generating component of every sample.
+    """
+    n_samples = check_positive_int(n_samples, name="n_samples")
+    n_features = check_positive_int(n_features, name="n_features")
+    n_clusters = check_positive_int(n_clusters, name="n_clusters")
+    if cluster_std <= 0:
+        raise ValidationError("cluster_std must be positive")
+    rng = check_random_state(random_state)
+
+    centers = rng.uniform(-center_box, center_box, size=(n_clusters, n_features))
+    labels = rng.integers(0, n_clusters, size=n_samples)
+    data = centers[labels] + rng.normal(scale=cluster_std,
+                                        size=(n_samples, n_features))
+    return data, labels.astype(np.int64)
+
+
+def make_imbalanced_blobs(n_samples: int, n_features: int, n_clusters: int, *,
+                          cluster_std: float = 1.0, center_box: float = 10.0,
+                          imbalance: float = 1.5,
+                          random_state=None) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian blobs whose cluster sizes follow a power law.
+
+    ``imbalance`` is the exponent of the Zipf-like size distribution: cluster
+    ``r`` receives a share proportional to ``(r + 1) ** -imbalance``.  Text
+    embedding corpora (GloVe) exhibit this kind of imbalance, which stresses
+    the equal-size adjustment of the two-means tree.
+    """
+    n_samples = check_positive_int(n_samples, name="n_samples")
+    n_features = check_positive_int(n_features, name="n_features")
+    n_clusters = check_positive_int(n_clusters, name="n_clusters")
+    if imbalance < 0:
+        raise ValidationError("imbalance must be non-negative")
+    rng = check_random_state(random_state)
+
+    weights = (np.arange(1, n_clusters + 1, dtype=np.float64)) ** (-imbalance)
+    weights /= weights.sum()
+    centers = rng.uniform(-center_box, center_box, size=(n_clusters, n_features))
+    labels = rng.choice(n_clusters, size=n_samples, p=weights)
+    data = centers[labels] + rng.normal(scale=cluster_std,
+                                        size=(n_samples, n_features))
+    return data, labels.astype(np.int64)
+
+
+def make_hierarchical_blobs(n_samples: int, n_features: int, *,
+                            n_super: int = 8, n_sub_per_super: int = 8,
+                            super_std: float = 8.0, sub_std: float = 1.0,
+                            noise_std: float = 0.3,
+                            random_state=None) -> tuple[np.ndarray, np.ndarray]:
+    """Two-level hierarchy of clusters (super-clusters containing sub-clusters).
+
+    Visual descriptor collections (SIFT, VLAD) have this nested structure:
+    coarse visual themes containing tight local modes.  The nested geometry is
+    what makes "a neighbour of a neighbour is likely a neighbour" (and Fig. 1's
+    co-occurrence statistics) hold strongly, so the descriptor stand-ins are
+    built on top of this generator.
+
+    Returns the data together with *sub-cluster* labels (the finest level).
+    """
+    n_samples = check_positive_int(n_samples, name="n_samples")
+    n_features = check_positive_int(n_features, name="n_features")
+    n_super = check_positive_int(n_super, name="n_super")
+    n_sub_per_super = check_positive_int(n_sub_per_super, name="n_sub_per_super")
+    rng = check_random_state(random_state)
+
+    super_centers = rng.normal(scale=super_std, size=(n_super, n_features))
+    n_sub = n_super * n_sub_per_super
+    sub_centers = np.repeat(super_centers, n_sub_per_super, axis=0)
+    sub_centers = sub_centers + rng.normal(scale=super_std / 3.0,
+                                           size=(n_sub, n_features))
+
+    labels = rng.integers(0, n_sub, size=n_samples)
+    data = sub_centers[labels] + rng.normal(scale=sub_std,
+                                            size=(n_samples, n_features))
+    if noise_std > 0:
+        data += rng.normal(scale=noise_std, size=data.shape)
+    return data, labels.astype(np.int64)

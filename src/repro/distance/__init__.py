@@ -1,0 +1,29 @@
+"""Distance kernels used throughout the library.
+
+Everything in the paper operates in Euclidean (l2) space; the kernels here
+implement squared-Euclidean distance computations in blocked, memory-bounded
+form so that million-scale matrices never have to be materialised at once.
+"""
+
+from .kernels import (
+    DistanceCounter,
+    squared_euclidean,
+    pairwise_squared_euclidean,
+    cross_squared_euclidean,
+    assign_to_nearest,
+    nearest_among,
+    pairwise_within_block,
+)
+from .norms import squared_norms, normalize_rows
+
+__all__ = [
+    "DistanceCounter",
+    "squared_euclidean",
+    "pairwise_squared_euclidean",
+    "cross_squared_euclidean",
+    "assign_to_nearest",
+    "nearest_among",
+    "pairwise_within_block",
+    "squared_norms",
+    "normalize_rows",
+]

@@ -1,0 +1,39 @@
+"""Vector-norm helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["squared_norms", "normalize_rows"]
+
+
+def squared_norms(data: np.ndarray) -> np.ndarray:
+    """Return the squared l2 norm of every row of ``data``.
+
+    Parameters
+    ----------
+    data:
+        Array of shape ``(n, d)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Vector of shape ``(n,)`` with ``||x_i||^2`` entries.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim == 1:
+        return np.array([float(np.dot(data, data))])
+    return np.einsum("ij,ij->i", data, data)
+
+
+def normalize_rows(data: np.ndarray, *, copy: bool = True) -> np.ndarray:
+    """l2-normalise every row of ``data``; zero rows are left untouched.
+
+    Used when generating GloVe-like embeddings (cosine ≈ Euclidean on the unit
+    sphere) and by the ANNS evaluation helpers.
+    """
+    data = np.array(data, dtype=np.float64, copy=copy)
+    norms = np.sqrt(squared_norms(data))
+    nonzero = norms > 0
+    data[nonzero] /= norms[nonzero, None]
+    return data

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers can
+catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, dtype, range or type)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted estimator was called before ``fit``."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Raised (as a warning) when an iterative algorithm stops before converging."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, read or written."""
+
+
+class GraphError(ReproError):
+    """A k-NN graph is malformed or inconsistent with the data it indexes."""

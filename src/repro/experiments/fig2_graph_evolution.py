@@ -1,0 +1,49 @@
+"""Fig. 2 — graph recall and clustering distortion as functions of τ.
+
+During the Alg. 3 construction the graph and the clustering improve each
+other; the paper plots the top-1 recall of the evolving graph and the
+distortion of the evolving clustering against the round index τ on SIFT100K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets import make_sift_like
+from ..graph import brute_force_knn_graph, build_knn_graph_by_clustering
+from .config import DEFAULT, ExperimentScale
+
+__all__ = ["run"]
+
+
+def run(scale: ExperimentScale = DEFAULT, *, tau: int | None = None) -> dict:
+    """Run the Fig. 2 experiment.
+
+    Returns a dict with ``series`` containing the ``recall`` and
+    ``distortion`` curves over τ, plus ``metadata``.
+    """
+    tau = scale.graph_tau if tau is None else tau
+    data = make_sift_like(scale.n_samples, scale.n_features,
+                          random_state=scale.random_state)
+    truth = brute_force_knn_graph(data, scale.n_neighbors)
+    result = build_knn_graph_by_clustering(
+        data, scale.n_neighbors, tau=tau, cluster_size=scale.cluster_size,
+        truth=truth, random_state=scale.random_state)
+
+    taus, recalls = result.recall_curve()
+    _, distortions = result.distortion_curve()
+    return {
+        "series": {
+            "recall": (taus, recalls),
+            "distortion": (taus, distortions),
+        },
+        "final_recall": float(recalls[-1]),
+        "construction_seconds": result.total_seconds,
+        "metadata": {
+            "n_samples": data.shape[0],
+            "n_features": data.shape[1],
+            "n_neighbors": scale.n_neighbors,
+            "cluster_size": scale.cluster_size,
+            "tau": tau,
+        },
+    }

@@ -1,0 +1,98 @@
+"""Fig. 4 — configuration study: distortion vs graph recall.
+
+The paper compares three configurations of Alg. 2 on SIFT1M (k = 10 000):
+
+* **GK-means** — boost assignment, graph from Alg. 3 (standard setup);
+* **GK-means⁻** — traditional (nearest-centroid) assignment, graph from Alg. 3;
+* **KGraph+GK-means** — boost assignment, graph from NN-Descent.
+
+For each configuration, graphs of increasing quality are supplied (by varying
+the construction budget) and the final clustering distortion is plotted
+against the graph's top-1 recall.  The expected shape: distortion falls as
+recall rises, and the boost-assignment runs dominate the lloyd-assignment run
+at every recall level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster import GKMeans
+from ..datasets import make_sift_like
+from ..graph import (
+    NNDescent,
+    brute_force_knn_graph,
+    build_knn_graph_by_clustering,
+    graph_recall,
+)
+from .config import DEFAULT, ExperimentScale
+
+__all__ = ["run"]
+
+
+def _graphs_from_clustering(data, scale, budgets, truth):
+    """Graphs of increasing quality from Alg. 3 (one per τ budget)."""
+    graphs = []
+    for tau in budgets:
+        result = build_knn_graph_by_clustering(
+            data, scale.n_neighbors, tau=tau, cluster_size=scale.cluster_size,
+            random_state=scale.random_state)
+        graphs.append((graph_recall(result.graph, truth, n_neighbors=1),
+                       result.graph))
+    return graphs
+
+
+def _graphs_from_nndescent(data, scale, budgets, truth):
+    """Graphs of increasing quality from NN-Descent (one per iteration budget)."""
+    graphs = []
+    for iterations in budgets:
+        builder = NNDescent(n_neighbors=scale.n_neighbors,
+                            max_iterations=iterations,
+                            random_state=scale.random_state)
+        graph = builder.build(data)
+        graphs.append((graph_recall(graph, truth, n_neighbors=1), graph))
+    return graphs
+
+
+def run(scale: ExperimentScale = DEFAULT, *,
+        tau_budgets=(1, 2, 4, 8), nn_descent_budgets=(1, 2, 3, 5)) -> dict:
+    """Run the Fig. 4 experiment; returns recall→distortion series per config."""
+    data = make_sift_like(scale.n_samples, scale.n_features,
+                          random_state=scale.random_state)
+    truth = brute_force_knn_graph(data, scale.n_neighbors)
+
+    configurations = {
+        "GK-means": ("boost", _graphs_from_clustering(data, scale,
+                                                      tau_budgets, truth)),
+        "GK-means-": ("lloyd", _graphs_from_clustering(data, scale,
+                                                       tau_budgets, truth)),
+        "KGraph+GK-means": ("boost", _graphs_from_nndescent(
+            data, scale, nn_descent_budgets, truth)),
+    }
+
+    series = {}
+    rows = []
+    for name, (assignment, graphs) in configurations.items():
+        recalls, distortions = [], []
+        for recall, graph in graphs:
+            model = GKMeans(scale.n_clusters, n_neighbors=scale.n_neighbors,
+                            graph=graph, assignment=assignment,
+                            max_iter=scale.max_iter,
+                            random_state=scale.random_state).fit(data)
+            recalls.append(recall)
+            distortions.append(model.distortion_)
+            rows.append({"configuration": name, "recall": recall,
+                         "distortion": model.distortion_})
+        order = np.argsort(recalls)
+        series[name] = (np.asarray(recalls)[order],
+                        np.asarray(distortions)[order])
+
+    return {
+        "series": series,
+        "table": rows,
+        "metadata": {
+            "n_samples": data.shape[0],
+            "n_clusters": scale.n_clusters,
+            "n_neighbors": scale.n_neighbors,
+        },
+    }

@@ -1,0 +1,125 @@
+"""Immutable-ish k-NN graph container shared by clustering and search code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..validation import check_knn_indices
+
+__all__ = ["KNNGraph"]
+
+
+@dataclass
+class KNNGraph:
+    """An approximate k-nearest-neighbour graph over ``n`` points.
+
+    Attributes
+    ----------
+    indices:
+        ``(n, k)`` int64 matrix; row ``i`` lists the (approximate) nearest
+        neighbours of point ``i`` in ascending distance order.  ``-1`` marks a
+        missing neighbour (only possible when ``k >= n``).
+    distances:
+        ``(n, k)`` float64 matrix of squared Euclidean distances aligned with
+        ``indices`` (``inf`` for missing entries).  Optional — algorithms that
+        only need the adjacency (GK-means) accept graphs without distances.
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.indices = check_knn_indices(self.indices, self.indices.shape[0])
+        if self.distances is not None:
+            self.distances = np.asarray(self.distances, dtype=np.float64)
+            if self.distances.shape != self.indices.shape:
+                raise GraphError(
+                    f"distances shape {self.distances.shape} does not match "
+                    f"indices shape {self.indices.shape}")
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_points(self) -> int:
+        """Number of points the graph indexes."""
+        return int(self.indices.shape[0])
+
+    @property
+    def n_neighbors(self) -> int:
+        """Number of neighbour slots per point (κ)."""
+        return int(self.indices.shape[1])
+
+    def __len__(self) -> int:
+        return self.n_points
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def neighbors(self, point: int) -> np.ndarray:
+        """Valid neighbour ids of ``point`` (padding removed)."""
+        row = self.indices[point]
+        return row[row >= 0]
+
+    def truncated(self, n_neighbors: int) -> "KNNGraph":
+        """A new graph keeping only the first ``n_neighbors`` columns."""
+        if n_neighbors > self.n_neighbors:
+            raise GraphError(
+                f"cannot truncate to {n_neighbors} neighbours, graph only has "
+                f"{self.n_neighbors}")
+        distances = None
+        if self.distances is not None:
+            distances = self.distances[:, :n_neighbors].copy()
+        return KNNGraph(self.indices[:, :n_neighbors].copy(), distances)
+
+    def symmetrized_adjacency(self) -> list[np.ndarray]:
+        """Per-point union of out-neighbours and in-neighbours.
+
+        Greedy graph search benefits from the reverse edges; this helper builds
+        the symmetrised adjacency once so search does not repeatedly scan the
+        index matrix.
+        """
+        incoming: list[list[int]] = [[] for _ in range(self.n_points)]
+        for source in range(self.n_points):
+            for target in self.indices[source]:
+                if target >= 0:
+                    incoming[int(target)].append(source)
+        adjacency = []
+        for point in range(self.n_points):
+            merged = np.union1d(self.neighbors(point),
+                                np.asarray(incoming[point], dtype=np.int64))
+            merged = merged[merged != point]
+            adjacency.append(merged.astype(np.int64))
+        return adjacency
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise :class:`GraphError` if the graph breaks a structural invariant."""
+        n = self.n_points
+        if np.any(self.indices == np.arange(n)[:, None]):
+            raise GraphError("graph contains self-loops")
+        for point in range(n):
+            valid = self.indices[point][self.indices[point] >= 0]
+            if len(np.unique(valid)) != len(valid):
+                raise GraphError(f"row {point} contains duplicate neighbours")
+        if self.distances is not None:
+            finite = self.indices >= 0
+            if np.any(self.distances[finite] < 0):
+                raise GraphError("graph contains negative distances")
+            ordered = np.all(np.diff(self.distances, axis=1) >= -1e-9, axis=1)
+            if not np.all(ordered):
+                raise GraphError("graph rows are not sorted by distance")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_heap(cls, heap) -> "KNNGraph":
+        """Build a graph from a :class:`~repro.graph.neighbor_heap.NeighborHeap`."""
+        indices, distances = heap.to_arrays()
+        return cls(indices, distances)

@@ -1,0 +1,19 @@
+"""Evaluation metrics: distortion, neighbour/cluster co-occurrence, external
+cluster agreement and timing helpers."""
+
+from .distortion import average_distortion, within_cluster_sum_of_squares
+from .cooccurrence import neighbor_cooccurrence_curve, random_collision_probability
+from .external import normalized_mutual_information, adjusted_rand_index, cluster_size_histogram
+from .timing import Timer, StageTimer
+
+__all__ = [
+    "average_distortion",
+    "within_cluster_sum_of_squares",
+    "neighbor_cooccurrence_curve",
+    "random_collision_probability",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "cluster_size_histogram",
+    "Timer",
+    "StageTimer",
+]

@@ -1,0 +1,97 @@
+"""External cluster-quality measures.
+
+The paper only reports distortion, but the synthetic stand-ins come with
+ground-truth generating modes, so NMI / ARI against those modes provide an
+extra sanity check that the fast methods do not silently destroy structure.
+Both are implemented from the contingency table without external dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import check_labels
+
+__all__ = ["normalized_mutual_information", "adjusted_rand_index",
+           "cluster_size_histogram"]
+
+
+def _contingency(labels_a: np.ndarray, labels_b: np.ndarray) -> np.ndarray:
+    """Dense contingency table between two labellings."""
+    n_a = int(labels_a.max()) + 1 if labels_a.size else 0
+    n_b = int(labels_b.max()) + 1 if labels_b.size else 0
+    table = np.zeros((n_a, n_b), dtype=np.int64)
+    np.add.at(table, (labels_a, labels_b), 1)
+    return table
+
+
+def normalized_mutual_information(labels_a, labels_b) -> float:
+    """NMI with arithmetic-mean normalisation, in ``[0, 1]``."""
+    labels_a = np.asarray(labels_a, dtype=np.int64)
+    labels_b = check_labels(labels_b, labels_a.shape[0], name="labels_b")
+    labels_a = check_labels(labels_a, labels_b.shape[0], name="labels_a")
+    n = labels_a.shape[0]
+    table = _contingency(labels_a, labels_b).astype(np.float64)
+    joint = table / n
+    marginal_a = joint.sum(axis=1)
+    marginal_b = joint.sum(axis=0)
+
+    nonzero = joint > 0
+    outer = np.outer(marginal_a, marginal_b)
+    mutual_information = float(
+        np.sum(joint[nonzero] * np.log(joint[nonzero] / outer[nonzero])))
+
+    def entropy(p: np.ndarray) -> float:
+        p = p[p > 0]
+        return float(-np.sum(p * np.log(p)))
+
+    h_a, h_b = entropy(marginal_a), entropy(marginal_b)
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    denominator = 0.5 * (h_a + h_b)
+    if denominator == 0.0:
+        return 0.0
+    return max(0.0, min(1.0, mutual_information / denominator))
+
+
+def adjusted_rand_index(labels_a, labels_b) -> float:
+    """Adjusted Rand index (chance-corrected pair-counting agreement)."""
+    labels_a = np.asarray(labels_a, dtype=np.int64)
+    labels_b = check_labels(labels_b, labels_a.shape[0], name="labels_b")
+    labels_a = check_labels(labels_a, labels_b.shape[0], name="labels_a")
+    table = _contingency(labels_a, labels_b)
+    n = labels_a.shape[0]
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        x = x.astype(np.float64)
+        return x * (x - 1.0) / 2.0
+
+    sum_cells = comb2(table).sum()
+    sum_rows = comb2(table.sum(axis=1)).sum()
+    sum_cols = comb2(table.sum(axis=0)).sum()
+    total_pairs = comb2(np.array([n]))[0]
+    expected = sum_rows * sum_cols / total_pairs if total_pairs else 0.0
+    maximum = 0.5 * (sum_rows + sum_cols)
+    if maximum == expected:
+        return 1.0
+    return float((sum_cells - expected) / (maximum - expected))
+
+
+def cluster_size_histogram(labels, n_clusters: int | None = None) -> dict:
+    """Summary statistics of cluster sizes (min/max/mean/std and empty count).
+
+    Used to check the equal-size property of the two-means tree and to report
+    balance in the experiment tables.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if n_clusters is None:
+        n_clusters = int(labels.max()) + 1 if labels.size else 0
+    counts = np.bincount(labels, minlength=n_clusters)
+    return {
+        "n_clusters": int(n_clusters),
+        "n_empty": int(np.sum(counts == 0)),
+        "min": int(counts.min()) if counts.size else 0,
+        "max": int(counts.max()) if counts.size else 0,
+        "mean": float(counts.mean()) if counts.size else 0.0,
+        "std": float(counts.std()) if counts.size else 0.0,
+    }

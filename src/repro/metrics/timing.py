@@ -1,0 +1,65 @@
+"""Small timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StageTimer"]
+
+
+@dataclass
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class StageTimer:
+    """Accumulates named stage durations (init vs iteration vs evaluation).
+
+    The paper's Table 2 splits total time into initialisation and iteration
+    cost; the experiment drivers use this helper to report the same split.
+    """
+
+    def __init__(self) -> None:
+        self.stages: dict[str, float] = {}
+        self._active: str | None = None
+        self._start = 0.0
+
+    def start(self, stage: str) -> None:
+        """Begin (or resume) timing ``stage``; stops any active stage first."""
+        self.stop()
+        self._active = stage
+        self._start = time.perf_counter()
+
+    def stop(self) -> None:
+        """Stop the active stage, accumulating its duration."""
+        if self._active is not None:
+            elapsed = time.perf_counter() - self._start
+            self.stages[self._active] = self.stages.get(self._active, 0.0) + elapsed
+            self._active = None
+
+    def total(self) -> float:
+        """Sum of all recorded stage durations."""
+        return float(sum(self.stages.values()))
+
+    def as_dict(self) -> dict[str, float]:
+        """Copy of the per-stage durations."""
+        return dict(self.stages)

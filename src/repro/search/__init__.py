@@ -1,0 +1,17 @@
+"""Approximate nearest-neighbour search on top of a k-NN graph.
+
+Section 4.3 of the paper notes that the graph built by Alg. 3 is good enough
+to serve ANN search directly; this subpackage provides the standard greedy
+best-first graph search used for that purpose and the recall/latency
+evaluation protocol.
+"""
+
+from .greedy import GraphSearcher, greedy_search
+from .evaluation import SearchEvaluation, evaluate_search
+
+__all__ = [
+    "GraphSearcher",
+    "greedy_search",
+    "SearchEvaluation",
+    "evaluate_search",
+]

@@ -1,0 +1,73 @@
+"""Recall / latency evaluation of graph-based ANN search."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.bruteforce import brute_force_neighbors
+from ..validation import check_data_matrix, check_positive_int
+from .greedy import GraphSearcher
+
+__all__ = ["SearchEvaluation", "evaluate_search"]
+
+
+@dataclass(frozen=True)
+class SearchEvaluation:
+    """Summary of an ANN-search evaluation run.
+
+    Attributes
+    ----------
+    recall_at_1, recall_at_k:
+        Fraction of queries whose true nearest neighbour (resp. true top-k)
+        was retrieved.
+    k:
+        Depth used for ``recall_at_k``.
+    mean_query_seconds:
+        Average wall-clock latency per query.
+    mean_distance_evaluations:
+        Average number of distance computations per query (a
+        hardware-independent cost measure).
+    """
+
+    recall_at_1: float
+    recall_at_k: float
+    k: int
+    mean_query_seconds: float
+    mean_distance_evaluations: float
+
+
+def evaluate_search(searcher: GraphSearcher, queries: np.ndarray, *,
+                    n_results: int = 10, pool_size: int | None = None
+                    ) -> SearchEvaluation:
+    """Evaluate a :class:`GraphSearcher` against exact brute-force results."""
+    queries = check_data_matrix(queries, name="queries")
+    n_results = check_positive_int(n_results, name="n_results")
+
+    exact_idx, _ = brute_force_neighbors(queries, searcher.data, n_results)
+
+    hits_at_1 = 0.0
+    hits_at_k = 0.0
+    total_seconds = 0.0
+    total_evaluations = 0.0
+    for row in range(queries.shape[0]):
+        started = time.perf_counter()
+        approx_idx, _ = searcher.query(queries[row], n_results,
+                                       pool_size=pool_size)
+        total_seconds += time.perf_counter() - started
+        total_evaluations += searcher.last_n_evaluations
+        truth = set(int(i) for i in exact_idx[row])
+        approx = set(int(i) for i in approx_idx if i >= 0)
+        if int(exact_idx[row, 0]) in approx:
+            hits_at_1 += 1.0
+        hits_at_k += len(truth & approx) / max(len(truth), 1)
+
+    m = queries.shape[0]
+    return SearchEvaluation(
+        recall_at_1=hits_at_1 / m,
+        recall_at_k=hits_at_k / m,
+        k=n_results,
+        mean_query_seconds=total_seconds / m,
+        mean_distance_evaluations=total_evaluations / m)

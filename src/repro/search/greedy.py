@@ -1,0 +1,186 @@
+"""Greedy best-first search over a k-NN graph.
+
+The classic graph-ANN search loop (as used by KGraph, EFANNA, HNSW layer 0,
+…): keep a bounded pool of the best candidates seen so far, repeatedly expand
+the closest unexpanded candidate by scoring its graph neighbours, and stop
+when the pool no longer improves.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..distance import cross_squared_euclidean
+from ..exceptions import GraphError
+from ..validation import check_data_matrix, check_positive_int, check_random_state
+from ..graph.knngraph import KNNGraph
+
+__all__ = ["GraphSearcher", "greedy_search"]
+
+
+def greedy_search(data: np.ndarray, adjacency: list[np.ndarray],
+                  query: np.ndarray, n_results: int, *,
+                  pool_size: int = 32, n_starts: int = 4,
+                  seed_sample: int | None = None,
+                  rng: np.random.Generator | None = None
+                  ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Single-query greedy search.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` reference vectors.
+    adjacency:
+        Per-point neighbour id arrays (typically the symmetrised graph).
+    query:
+        ``(d,)`` query vector.
+    n_results:
+        Number of neighbours to return.
+    pool_size:
+        Size of the candidate pool (ef); larger → higher recall, slower.
+    n_starts:
+        Number of entry points the search expands from.
+    seed_sample:
+        Number of random points scored to *choose* the entry points (the
+        ``n_starts`` closest of the sample are used).  A k-NN graph over
+        strongly clustered data is close to a union of per-cluster components,
+        so spending a few dozen extra distance evaluations on entry-point
+        selection is what keeps greedy search out of the wrong cluster.
+        Defaults to ``max(32, 8 * n_starts)``.
+    rng:
+        Generator for the entry points.
+
+    Returns
+    -------
+    (indices, distances, n_evaluations):
+        The ``n_results`` best ids/squared distances found and the number of
+        distance evaluations spent.
+    """
+    n = data.shape[0]
+    if rng is None:
+        rng = np.random.default_rng()
+    pool_size = max(pool_size, n_results)
+    if seed_sample is None:
+        seed_sample = max(32, 8 * n_starts)
+    sample = rng.choice(n, size=min(seed_sample, n), replace=False)
+    sample_dists = cross_squared_euclidean(query[None, :], data[sample])[0]
+    keep = np.argsort(sample_dists, kind="stable")[: min(n_starts, n)]
+    starts = sample[keep]
+
+    start_dists = sample_dists[keep]
+    evaluations = int(sample.size)
+    visited = set(int(s) for s in starts)
+
+    # Candidate min-heap (to expand) and result max-heap (bounded pool).
+    candidates = [(float(d), int(s)) for d, s in zip(start_dists, starts)]
+    heapq.heapify(candidates)
+    pool = [(-float(d), int(s)) for d, s in zip(start_dists, starts)]
+    heapq.heapify(pool)
+    while len(pool) > pool_size:
+        heapq.heappop(pool)
+
+    while candidates:
+        dist, node = heapq.heappop(candidates)
+        worst = -pool[0][0] if pool else np.inf
+        if dist > worst and len(pool) >= pool_size:
+            break
+        neighbors = [int(v) for v in adjacency[node] if int(v) not in visited]
+        if not neighbors:
+            continue
+        visited.update(neighbors)
+        neighbor_dists = cross_squared_euclidean(
+            query[None, :], data[neighbors])[0]
+        evaluations += len(neighbors)
+        for neighbor, neighbor_dist in zip(neighbors, neighbor_dists):
+            worst = -pool[0][0] if pool else np.inf
+            if len(pool) < pool_size or neighbor_dist < worst:
+                heapq.heappush(pool, (-float(neighbor_dist), neighbor))
+                if len(pool) > pool_size:
+                    heapq.heappop(pool)
+                heapq.heappush(candidates, (float(neighbor_dist), neighbor))
+
+    results = sorted(((-d, i) for d, i in pool))
+    results = results[:n_results]
+    indices = np.array([i for _, i in results], dtype=np.int64)
+    distances = np.array([d for d, _ in results], dtype=np.float64)
+    return indices, distances, evaluations
+
+
+class GraphSearcher:
+    """Reusable ANN searcher bound to a dataset and its k-NN graph.
+
+    Parameters
+    ----------
+    data:
+        Reference vectors the graph indexes.
+    graph:
+        A :class:`~repro.graph.knngraph.KNNGraph` over ``data``.
+    pool_size:
+        Default candidate pool size (can be overridden per query).
+    n_starts:
+        Number of entry points per query (the closest of ``seed_sample``
+        randomly scored points).
+    seed_sample:
+        Number of random points scored when picking entry points.
+    symmetrize:
+        Whether to add reverse edges before searching (recommended; k-NN
+        graphs are directed and reverse edges markedly improve reachability).
+    random_state:
+        Seed for entry-point selection.
+    """
+
+    def __init__(self, data: np.ndarray, graph: KNNGraph, *,
+                 pool_size: int = 32, n_starts: int = 4,
+                 seed_sample: int | None = None,
+                 symmetrize: bool = True, random_state=None) -> None:
+        self.data = check_data_matrix(data)
+        if graph.n_points != self.data.shape[0]:
+            raise GraphError(
+                f"graph indexes {graph.n_points} points but data has "
+                f"{self.data.shape[0]} rows")
+        self.graph = graph
+        self.pool_size = check_positive_int(pool_size, name="pool_size")
+        self.n_starts = check_positive_int(n_starts, name="n_starts")
+        self.seed_sample = seed_sample
+        self._rng = check_random_state(random_state)
+        if symmetrize:
+            self._adjacency = graph.symmetrized_adjacency()
+        else:
+            self._adjacency = [graph.neighbors(i)
+                               for i in range(graph.n_points)]
+        self.last_n_evaluations = 0
+
+    def query(self, query: np.ndarray, n_results: int = 10, *,
+              pool_size: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Search one query; returns (indices, squared distances)."""
+        query = np.asarray(query, dtype=np.float64).ravel()
+        if query.shape[0] != self.data.shape[1]:
+            raise GraphError(
+                f"query has dimension {query.shape[0]}, data has "
+                f"{self.data.shape[1]}")
+        n_results = check_positive_int(n_results, name="n_results",
+                                       maximum=self.data.shape[0])
+        pool = self.pool_size if pool_size is None else pool_size
+        indices, distances, evaluations = greedy_search(
+            self.data, self._adjacency, query, n_results,
+            pool_size=pool, n_starts=self.n_starts,
+            seed_sample=self.seed_sample, rng=self._rng)
+        self.last_n_evaluations = evaluations
+        return indices, distances
+
+    def batch_query(self, queries: np.ndarray, n_results: int = 10, *,
+                    pool_size: int | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Search many queries; returns ``(m, n_results)`` index/distance arrays."""
+        queries = check_data_matrix(queries, name="queries")
+        out_idx = np.full((queries.shape[0], n_results), -1, dtype=np.int64)
+        out_dist = np.full((queries.shape[0], n_results), np.inf,
+                           dtype=np.float64)
+        for row in range(queries.shape[0]):
+            indices, distances = self.query(queries[row], n_results,
+                                            pool_size=pool_size)
+            out_idx[row, :indices.size] = indices
+            out_dist[row, :distances.size] = distances
+        return out_idx, out_dist

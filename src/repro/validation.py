@@ -1,0 +1,150 @@
+"""Input validation helpers shared across the library.
+
+The helpers normalise user input into the canonical representations used
+internally (C-contiguous ``float64``/``int64`` arrays) and raise
+:class:`~repro.exceptions.ValidationError` with actionable messages otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+__all__ = [
+    "check_data_matrix",
+    "check_labels",
+    "check_positive_int",
+    "check_fraction",
+    "check_random_state",
+    "check_knn_indices",
+]
+
+
+def check_data_matrix(data, *, name: str = "data", min_samples: int = 1,
+                      dtype=np.float64) -> np.ndarray:
+    """Validate and return a 2-D floating point data matrix.
+
+    Parameters
+    ----------
+    data:
+        Array-like of shape ``(n_samples, n_features)``.
+    name:
+        Name used in error messages.
+    min_samples:
+        Minimum number of rows required.
+    dtype:
+        Floating dtype the returned array is cast to.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous array of the requested dtype.
+    """
+    array = np.asarray(data, dtype=dtype)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise ValidationError(
+            f"{name} must be a 2-D array, got {array.ndim} dimensions")
+    if array.shape[0] < min_samples:
+        raise ValidationError(
+            f"{name} must contain at least {min_samples} samples, "
+            f"got {array.shape[0]}")
+    if array.shape[1] < 1:
+        raise ValidationError(f"{name} must have at least one feature")
+    if not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(array)
+
+
+def check_labels(labels, n_samples: int, *, name: str = "labels") -> np.ndarray:
+    """Validate an integer label vector of length ``n_samples``."""
+    array = np.asarray(labels)
+    if array.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got {array.ndim}-D")
+    if array.shape[0] != n_samples:
+        raise ValidationError(
+            f"{name} has length {array.shape[0]}, expected {n_samples}")
+    if not np.issubdtype(array.dtype, np.integer):
+        if not np.allclose(array, np.round(array)):
+            raise ValidationError(f"{name} must contain integers")
+    array = array.astype(np.int64, copy=False)
+    if array.size and array.min() < 0:
+        raise ValidationError(f"{name} must be non-negative")
+    return array
+
+
+def check_positive_int(value, *, name: str, minimum: int = 1,
+                       maximum: int | None = None) -> int:
+    """Validate an integer in ``[minimum, maximum]`` and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ValidationError(f"{name} must be <= {maximum}, got {value}")
+    return value
+
+
+def check_fraction(value, *, name: str, allow_zero: bool = False) -> float:
+    """Validate a float in ``(0, 1]`` (or ``[0, 1]`` when ``allow_zero``)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a float, got {value!r}") from exc
+    lower_ok = value >= 0.0 if allow_zero else value > 0.0
+    if not lower_ok or value > 1.0:
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ValidationError(f"{name} must lie in {bound}, got {value}")
+    return value
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Turn ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, a ``Generator`` (returned
+    unchanged) or a legacy ``RandomState`` (wrapped).
+    """
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.RandomState):
+        return np.random.default_rng(seed.randint(0, 2**32 - 1))
+    raise ValidationError(
+        f"random_state must be None, an int or a numpy Generator, got {seed!r}")
+
+
+def check_knn_indices(indices, n_samples: int, *, name: str = "knn graph") -> np.ndarray:
+    """Validate a ``(n_samples, k)`` neighbour index matrix.
+
+    Neighbour ids must be valid row indices of the dataset; ``-1`` is allowed as
+    a padding value for missing neighbours.
+    """
+    array = np.asarray(indices)
+    if array.ndim != 2:
+        raise ValidationError(f"{name} indices must be 2-D, got {array.ndim}-D")
+    if array.shape[0] != n_samples:
+        raise ValidationError(
+            f"{name} has {array.shape[0]} rows, expected {n_samples}")
+    if not np.issubdtype(array.dtype, np.integer):
+        raise ValidationError(f"{name} indices must be integers")
+    array = array.astype(np.int64, copy=False)
+    if array.size and (array.max() >= n_samples or array.min() < -1):
+        raise ValidationError(
+            f"{name} indices must lie in [-1, {n_samples - 1}]")
+    return array
+
+
+def as_sequence_of_ints(values: Sequence, *, name: str) -> list[int]:
+    """Validate a sequence of non-negative integers (used for sweep grids)."""
+    result = []
+    for value in values:
+        result.append(check_positive_int(value, name=f"{name} entry", minimum=0))
+    if not result:
+        raise ValidationError(f"{name} must not be empty")
+    return result

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_experiment_command_parses(self):
+        args = build_parser().parse_args(["experiment", "fig2",
+                                          "--preset", "small"])
+        assert args.name == "fig2"
+        assert args.preset == "small"
+
+    def test_alias_parses(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.method == "GK-means"
+        assert args.dataset == "sift1m"
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "GK-means" in out
+        assert "sift1m" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "sift1m" in out
+        assert "1,000,000" in out
+
+    def test_cluster_small_run(self, capsys):
+        code = main(["cluster", "--dataset", "sift1m", "--n-samples", "400",
+                     "--n-features", "8", "--k", "10", "--max-iter", "3",
+                     "--method", "BKM", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BKM" in out
+        assert "distortion" in out
+
+    def test_fig2_tiny_run(self, capsys):
+        code = main(["fig2", "--preset", "small", "--n-samples", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recall" in out
+        assert "distortion" in out

@@ -1,0 +1,203 @@
+"""Tests for the composite-vector ClusterState and the boost objective.
+
+These are the most safety-critical tests in the suite: every incremental
+algorithm (BKM, GK-means, Alg. 3) trusts `ClusterState.move` and
+`delta_objective` to exactly track the objective of Eqn. 2/3.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterState, boost_objective, distortion_from_labels
+from repro.exceptions import ValidationError
+from repro.metrics import average_distortion
+
+
+def _random_state(n=30, d=4, k=5, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, d))
+    labels = rng.integers(0, k, size=n)
+    labels[:k] = np.arange(k)  # no empty clusters
+    return data, labels.astype(np.int64), k
+
+
+class TestObjectiveIdentities:
+    def test_objective_matches_definition(self):
+        data, labels, k = _random_state()
+        state = ClusterState(data, labels, k)
+        expected = 0.0
+        for cluster in range(k):
+            members = data[labels == cluster]
+            if len(members):
+                composite = members.sum(axis=0)
+                expected += composite @ composite / len(members)
+        assert state.objective == pytest.approx(expected)
+
+    def test_distortion_equals_sum_norm_minus_objective(self):
+        data, labels, k = _random_state(seed=1)
+        state = ClusterState(data, labels, k)
+        direct = average_distortion(data, labels)
+        assert state.distortion == pytest.approx(direct)
+
+    def test_distortion_from_labels_helper(self):
+        data, labels, k = _random_state(seed=2)
+        assert distortion_from_labels(data, labels, k) == pytest.approx(
+            average_distortion(data, labels))
+
+    def test_boost_objective_helper(self):
+        data, labels, k = _random_state(seed=3)
+        assert boost_objective(data, labels, k) == pytest.approx(
+            ClusterState(data, labels, k).objective)
+
+    def test_inertia_is_n_times_distortion(self):
+        data, labels, k = _random_state(seed=4)
+        state = ClusterState(data, labels, k)
+        assert state.inertia == pytest.approx(state.distortion * len(data))
+
+
+class TestMoves:
+    def test_move_updates_labels_and_counts(self):
+        data, labels, k = _random_state()
+        state = ClusterState(data, labels, k)
+        source = int(labels[10])
+        target = (source + 1) % k
+        before = state.counts.copy()
+        state.move(10, target)
+        assert state.labels[10] == target
+        assert state.counts[source] == before[source] - 1
+        assert state.counts[target] == before[target] + 1
+
+    def test_move_to_same_cluster_is_noop(self):
+        data, labels, k = _random_state()
+        state = ClusterState(data, labels, k)
+        objective = state.objective
+        state.move(3, int(labels[3]))
+        assert state.objective == pytest.approx(objective)
+
+    def test_state_consistent_after_many_moves(self):
+        data, labels, k = _random_state(n=60, seed=5)
+        state = ClusterState(data, labels, k)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            sample = int(rng.integers(60))
+            target = int(rng.integers(k))
+            if state.counts[state.labels[sample]] > 1:
+                state.move(sample, target)
+        assert state.check_consistency()
+
+    def test_delta_objective_matches_recomputation(self):
+        data, labels, k = _random_state(n=40, seed=6)
+        state = ClusterState(data, labels, k)
+        sample = 17
+        candidates = np.arange(k)
+        deltas = state.delta_objective(sample, candidates)
+        base = state.objective
+        for candidate, delta in zip(candidates, deltas):
+            trial_labels = state.labels.copy()
+            trial_labels[sample] = candidate
+            recomputed = boost_objective(data, trial_labels, k)
+            assert delta == pytest.approx(recomputed - base, abs=1e-8)
+
+    def test_delta_zero_for_current_cluster(self):
+        data, labels, k = _random_state(seed=7)
+        state = ClusterState(data, labels, k)
+        deltas = state.delta_objective(5, np.array([int(labels[5])]))
+        assert deltas[0] == 0.0
+
+    def test_best_move_protects_singletons(self):
+        data = np.array([[0.0, 0.0], [10.0, 10.0], [10.1, 10.1]])
+        labels = np.array([0, 1, 1])
+        state = ClusterState(data, labels, 2)
+        target, gain = state.best_move(0, np.array([0, 1]))
+        assert target == 0 and gain == 0.0
+
+    def test_best_move_allows_empty_when_requested(self):
+        data = np.array([[0.0, 0.0], [0.1, 0.1], [10.0, 10.0]])
+        labels = np.array([0, 1, 1])
+        state = ClusterState(data, labels, 2)
+        target, gain = state.best_move(0, np.array([0, 1]),
+                                       allow_empty_source=True)
+        assert target in (0, 1)
+
+    def test_moves_with_positive_delta_increase_objective(self):
+        data, labels, k = _random_state(n=50, seed=8)
+        state = ClusterState(data, labels, k)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            sample = int(rng.integers(50))
+            if state.counts[state.labels[sample]] <= 1:
+                continue
+            before = state.objective
+            target, gain = state.best_move(sample, np.arange(k))
+            if gain > 0:
+                state.move(sample, target)
+                assert state.objective >= before
+
+    def test_centroids_are_cluster_means(self):
+        data, labels, k = _random_state(seed=9)
+        state = ClusterState(data, labels, k)
+        centroids = state.centroids()
+        for cluster in range(k):
+            members = data[labels == cluster]
+            if len(members):
+                assert np.allclose(centroids[cluster], members.mean(axis=0))
+
+    def test_cluster_members(self):
+        data, labels, k = _random_state(seed=10)
+        state = ClusterState(data, labels, k)
+        members = state.cluster_members(2)
+        assert set(members) == set(np.nonzero(labels == 2)[0])
+
+    def test_reassign_all_to_nearest_reduces_distortion(self):
+        data, labels, k = _random_state(n=80, seed=11)
+        state = ClusterState(data, labels, k)
+        before = state.distortion
+        state.reassign_all_to_nearest()
+        assert state.distortion <= before + 1e-12
+        assert state.check_consistency()
+
+    def test_labels_out_of_range_rejected(self):
+        data, labels, k = _random_state()
+        with pytest.raises(ValidationError):
+            ClusterState(data, labels, 2)
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_incremental_state_always_consistent(self, seed):
+        """Random move sequences never desynchronise the incremental state."""
+        rng = np.random.default_rng(seed)
+        n, d, k = 25, 3, 4
+        data = rng.normal(size=(n, d))
+        labels = rng.integers(0, k, size=n)
+        labels[:k] = np.arange(k)
+        state = ClusterState(data, labels, k)
+        for _ in range(30):
+            sample = int(rng.integers(n))
+            target = int(rng.integers(k))
+            state.move(sample, target)
+        assert state.check_consistency()
+        assert state.distortion == pytest.approx(
+            average_distortion(data, state.labels), abs=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_delta_objective_agrees_with_recompute(self, seed):
+        rng = np.random.default_rng(seed)
+        n, d, k = 18, 2, 3
+        data = rng.normal(size=(n, d))
+        labels = rng.integers(0, k, size=n)
+        labels[:k] = np.arange(k)
+        state = ClusterState(data, labels, k)
+        sample = int(rng.integers(n))
+        candidates = np.arange(k)
+        deltas = state.delta_objective(sample, candidates)
+        base = state.objective
+        for candidate, delta in zip(candidates, deltas):
+            trial = state.labels.copy()
+            trial[sample] = candidate
+            assert delta == pytest.approx(
+                boost_objective(data, trial, k) - base, abs=1e-7)

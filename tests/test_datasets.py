@@ -1,0 +1,181 @@
+"""Tests for the dataset substrate (synthetic generators, descriptors,
+registry, sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_REGISTRY,
+    list_datasets,
+    load_dataset,
+    make_blobs,
+    make_gist_like,
+    make_glove_like,
+    make_hierarchical_blobs,
+    make_imbalanced_blobs,
+    make_sift_like,
+    make_vlad_like,
+    subsample,
+    train_query_split,
+)
+from repro.distance import squared_norms
+from repro.exceptions import DatasetError, ValidationError
+
+
+class TestMakeBlobs:
+    def test_shapes(self):
+        data, labels = make_blobs(100, 5, 4, random_state=0)
+        assert data.shape == (100, 5)
+        assert labels.shape == (100,)
+        assert labels.max() < 4
+
+    def test_reproducible(self):
+        a, _ = make_blobs(50, 3, 2, random_state=42)
+        b, _ = make_blobs(50, 3, 2, random_state=42)
+        assert np.allclose(a, b)
+
+    def test_different_seed_differs(self):
+        a, _ = make_blobs(50, 3, 2, random_state=1)
+        b, _ = make_blobs(50, 3, 2, random_state=2)
+        assert not np.allclose(a, b)
+
+    def test_invalid_std_rejected(self):
+        with pytest.raises(ValidationError):
+            make_blobs(10, 2, 2, cluster_std=0.0)
+
+    def test_clusters_are_separated_when_std_small(self):
+        data, labels = make_blobs(200, 4, 3, cluster_std=0.01,
+                                  center_box=50.0, random_state=0)
+        centroids = np.array([data[labels == c].mean(axis=0) for c in range(3)])
+        spread = max(np.linalg.norm(data[labels == c] - centroids[c], axis=1).max()
+                     for c in range(3))
+        gaps = np.linalg.norm(centroids[0] - centroids[1])
+        assert gaps > spread
+
+
+class TestMakeImbalancedBlobs:
+    def test_sizes_are_skewed(self):
+        _, labels = make_imbalanced_blobs(2000, 4, 10, imbalance=2.0,
+                                          random_state=0)
+        counts = np.bincount(labels, minlength=10)
+        assert counts.max() > 4 * max(counts.min(), 1)
+
+    def test_zero_imbalance_is_roughly_uniform(self):
+        _, labels = make_imbalanced_blobs(2000, 4, 4, imbalance=0.0,
+                                          random_state=0)
+        counts = np.bincount(labels, minlength=4)
+        assert counts.min() > 300
+
+    def test_negative_imbalance_rejected(self):
+        with pytest.raises(ValidationError):
+            make_imbalanced_blobs(10, 2, 2, imbalance=-1.0)
+
+
+class TestHierarchicalBlobs:
+    def test_label_range(self):
+        data, labels = make_hierarchical_blobs(300, 6, n_super=4,
+                                               n_sub_per_super=3,
+                                               random_state=0)
+        assert data.shape == (300, 6)
+        assert labels.max() < 12
+
+
+class TestDescriptorGenerators:
+    def test_sift_like_range_and_integrality(self):
+        data = make_sift_like(200, 16, random_state=0)
+        assert data.min() >= 0.0
+        assert data.max() <= 255.0
+        assert np.allclose(data, np.round(data))
+
+    def test_sift_like_labels(self):
+        data, labels = make_sift_like(100, 8, random_state=0,
+                                      return_labels=True)
+        assert labels.shape == (100,)
+
+    def test_gist_like_bounded(self):
+        data = make_gist_like(150, 24, random_state=0)
+        assert data.min() >= 0.0
+        assert data.max() <= 1.0
+
+    def test_glove_like_centered(self):
+        data = make_glove_like(500, 20, random_state=0)
+        assert abs(data.mean()) < 0.5
+
+    def test_vlad_like_unit_norm(self):
+        data = make_vlad_like(100, 32, random_state=0)
+        assert np.allclose(squared_norms(data), 1.0, atol=1e-9)
+
+    @pytest.mark.parametrize("generator", [make_sift_like, make_gist_like,
+                                           make_glove_like, make_vlad_like])
+    def test_reproducible(self, generator):
+        assert np.allclose(generator(64, 12, random_state=5),
+                           generator(64, 12, random_state=5))
+
+    @pytest.mark.parametrize("generator", [make_sift_like, make_gist_like,
+                                           make_glove_like, make_vlad_like])
+    def test_descriptors_are_clustered(self, generator):
+        """Nearest neighbours should share generating modes far above chance."""
+        data, labels = generator(400, 16, random_state=0, return_labels=True)
+        from repro.graph import brute_force_knn_graph
+        graph = brute_force_knn_graph(data, 1)
+        same = labels[graph.indices[:, 0]] == labels
+        chance = np.mean([np.mean(labels == c) for c in np.unique(labels)])
+        assert same.mean() > 5 * chance
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        names = list_datasets()
+        for expected in ("sift1m", "vlad10m", "glove1m", "gist1m"):
+            assert expected in names
+
+    def test_registry_matches_paper_scales(self):
+        assert DATASET_REGISTRY["sift1m"].paper_size == 1_000_000
+        assert DATASET_REGISTRY["sift1m"].paper_dim == 128
+        assert DATASET_REGISTRY["vlad10m"].paper_size == 10_000_000
+        assert DATASET_REGISTRY["vlad10m"].paper_dim == 512
+        assert DATASET_REGISTRY["glove1m"].paper_dim == 100
+        assert DATASET_REGISTRY["gist1m"].paper_dim == 960
+
+    def test_load_by_name_with_overrides(self):
+        data = load_dataset("sift1m", 123, 8, random_state=0)
+        assert data.shape == (123, 8)
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_load_case_insensitive(self):
+        data = load_dataset("SIFT1M", 10, 4, random_state=0)
+        assert data.shape == (10, 4)
+
+    def test_return_labels(self):
+        data, labels = load_dataset("glove1m", 50, 8, random_state=0,
+                                    return_labels=True)
+        assert labels.shape == (50,)
+
+
+class TestSampling:
+    def test_subsample_shape(self):
+        data = np.arange(40, dtype=float).reshape(20, 2)
+        out = subsample(data, 5, random_state=0)
+        assert out.shape == (5, 2)
+
+    def test_subsample_rows_come_from_data(self):
+        data = np.arange(40, dtype=float).reshape(20, 2)
+        out, indices = subsample(data, 5, random_state=0, return_indices=True)
+        assert np.allclose(out, data[indices])
+
+    def test_subsample_too_many_rejected(self):
+        with pytest.raises(ValidationError):
+            subsample(np.ones((5, 2)), 10)
+
+    def test_train_query_split_disjoint_sizes(self):
+        data = np.random.default_rng(0).normal(size=(30, 3))
+        base, queries = train_query_split(data, 6, random_state=0)
+        assert base.shape == (24, 3)
+        assert queries.shape == (6, 3)
+
+    def test_train_query_split_too_many_queries(self):
+        with pytest.raises(ValidationError):
+            train_query_split(np.ones((5, 2)), 5)

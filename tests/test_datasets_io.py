@@ -1,0 +1,101 @@
+"""Round-trip and error-handling tests for the fvecs/ivecs/bvecs readers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.datasets import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+from repro.exceptions import DatasetError
+
+
+class TestFvecs:
+    def test_roundtrip(self, tmp_path):
+        data = np.random.default_rng(0).normal(size=(7, 5)).astype(np.float32)
+        path = tmp_path / "vectors.fvecs"
+        write_fvecs(path, data)
+        out = read_fvecs(path)
+        assert out.shape == (7, 5)
+        assert np.allclose(out, data)
+
+    def test_max_vectors(self, tmp_path):
+        data = np.arange(20, dtype=np.float32).reshape(10, 2)
+        path = tmp_path / "v.fvecs"
+        write_fvecs(path, data)
+        out = read_fvecs(path, max_vectors=3)
+        assert out.shape == (3, 2)
+        assert np.allclose(out, data[:3])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="does not exist"):
+            read_fvecs(tmp_path / "nope.fvecs")
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        path.write_bytes(b"\x01\x02")
+        with pytest.raises(DatasetError, match="truncated"):
+            read_fvecs(path)
+
+    def test_corrupt_record_size(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        # dim header says 3 but only 2 floats follow
+        payload = np.array([3], dtype="<i4").tobytes() + \
+            np.array([1.0, 2.0], dtype="<f4").tobytes()
+        path.write_bytes(payload)
+        with pytest.raises(DatasetError, match="multiple"):
+            read_fvecs(path)
+
+    def test_float64_input_cast(self, tmp_path):
+        data = np.random.default_rng(1).normal(size=(3, 4))
+        path = tmp_path / "v.fvecs"
+        write_fvecs(path, data)
+        out = read_fvecs(path)
+        assert np.allclose(out, data.astype(np.float32))
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays(np.float32,
+                  st.tuples(st.integers(1, 6), st.integers(1, 8)),
+                  elements=st.floats(-1e6, 1e6, allow_nan=False, width=32)))
+    def test_property_roundtrip(self, tmp_path_factory, data):
+        path = tmp_path_factory.mktemp("fvecs") / "data.fvecs"
+        write_fvecs(path, data)
+        assert np.allclose(read_fvecs(path), data)
+
+
+class TestIvecs:
+    def test_roundtrip(self, tmp_path):
+        data = np.random.default_rng(2).integers(0, 1000, size=(5, 9))
+        path = tmp_path / "gt.ivecs"
+        write_ivecs(path, data)
+        assert np.array_equal(read_ivecs(path), data)
+
+    def test_negative_values_preserved(self, tmp_path):
+        data = np.array([[-1, 2], [3, -4]], dtype=np.int32)
+        path = tmp_path / "neg.ivecs"
+        write_ivecs(path, data)
+        assert np.array_equal(read_ivecs(path), data)
+
+
+class TestBvecs:
+    def test_roundtrip(self, tmp_path):
+        data = np.random.default_rng(3).integers(0, 256, size=(6, 12))
+        path = tmp_path / "sift.bvecs"
+        write_bvecs(path, data)
+        assert np.array_equal(read_bvecs(path), data)
+
+    def test_out_of_range_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="\\[0, 255\\]"):
+            write_bvecs(tmp_path / "bad.bvecs", np.array([[300]]))
+
+    def test_empty_file_gives_empty_array(self, tmp_path):
+        path = tmp_path / "empty.bvecs"
+        path.write_bytes(b"")
+        assert read_bvecs(path).size == 0

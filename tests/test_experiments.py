@@ -1,0 +1,225 @@
+"""Tests for the experiment harness (runner, report, per-figure drivers).
+
+The figure/table drivers are executed at a tiny scale here; the
+pytest-benchmark targets in ``benchmarks/`` run them at the paper-shaped
+scale.  These tests assert the *qualitative shapes* the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_sift_like
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    ablations,
+    anns_probe,
+    available_methods,
+    fig1_cooccurrence,
+    fig2_graph_evolution,
+    fig4_configuration,
+    fig5_quality,
+    fig67_scalability,
+    format_seconds,
+    render_series,
+    render_table,
+    run_method,
+    table1_datasets,
+    table2_large_k,
+)
+from repro.experiments.config import SMALL, ExperimentScale
+
+#: Very small preset so the whole experiment module suite runs in seconds.
+TINY = ExperimentScale(n_samples=600, n_features=12, n_clusters=15,
+                       n_neighbors=8, cluster_size=30, graph_tau=2,
+                       max_iter=4, random_state=0)
+
+
+class TestRunner:
+    def test_all_registered_methods_run(self):
+        data = make_sift_like(300, 8, random_state=0)
+        for method in available_methods():
+            options = {}
+            if method in {"GK-means", "GK-means-", "KGraph+GK-means"}:
+                options = {"n_neighbors": 5, "graph_tau": 1,
+                           "graph_cluster_size": 20}
+            run = run_method(method, data, 10, max_iter=3, random_state=0,
+                             **options)
+            assert run.result.labels.shape == (300,)
+            assert run.distortion > 0
+            assert run.total_seconds >= 0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValidationError):
+            run_method("dbscan", np.zeros((10, 2)), 2)
+
+    def test_paper_legend_names_present(self):
+        names = available_methods()
+        for expected in ("k-means", "BKM", "Mini-Batch", "closure k-means",
+                         "GK-means", "GK-means-", "KGraph+GK-means"):
+            assert expected in names
+
+
+class TestReport:
+    def test_render_table_alignment_and_missing(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10}]
+        text = render_table(rows, title="demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "-" in text  # missing value placeholder
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_render_series_subsamples(self):
+        series = {"curve": (list(range(100)), list(range(100)))}
+        text = render_series(series, max_points=5)
+        assert "curve" in text
+        assert text.count("->") <= 8 + 1
+
+    def test_format_seconds_units(self):
+        assert format_seconds(5.0).endswith("s")
+        assert format_seconds(300.0).endswith("min")
+        assert format_seconds(7200.0).endswith("h")
+
+
+class TestFig1:
+    def test_shapes_and_chance_gap(self):
+        payload = fig1_cooccurrence.run(TINY, cluster_size=30, max_rank=15)
+        assert set(payload["series"]) == {"k-means", "2M tree"}
+        for name, (ranks, curve) in payload["series"].items():
+            assert len(ranks) == len(curve) == 15
+            assert curve[0] > 3 * payload["random_collision"][name]
+
+
+class TestFig2:
+    def test_recall_rises_distortion_falls(self):
+        payload = fig2_graph_evolution.run(TINY, tau=4)
+        taus, recalls = payload["series"]["recall"]
+        _, distortions = payload["series"]["distortion"]
+        assert list(taus) == [1, 2, 3, 4]
+        assert recalls[-1] > recalls[0]
+        assert distortions[-1] < distortions[0]
+        assert payload["final_recall"] == pytest.approx(recalls[-1])
+
+
+class TestFig4:
+    def test_boost_dominates_lloyd_assignment(self):
+        payload = fig4_configuration.run(TINY, tau_budgets=(1, 3),
+                                         nn_descent_budgets=(1, 3))
+        series = payload["series"]
+        assert set(series) == {"GK-means", "GK-means-", "KGraph+GK-means"}
+        # at the highest graph quality, boost assignment <= lloyd assignment
+        best_boost = series["GK-means"][1][-1]
+        best_lloyd = series["GK-means-"][1][-1]
+        assert best_boost <= best_lloyd * 1.05
+
+
+class TestFig5:
+    def test_structure_and_gkmeans_quality(self):
+        payload = fig5_quality.run(TINY, datasets=("sift1m",),
+                                   methods=("Mini-Batch", "k-means", "BKM",
+                                            "GK-means"))
+        content = payload["datasets"]["sift1m"]
+        rows = {row["method"]: row for row in content["table"]}
+        assert set(rows) == {"Mini-Batch", "k-means", "BKM", "GK-means"}
+        # paper's shape: GK-means close to BKM, better than Mini-Batch
+        assert rows["GK-means"]["final_distortion"] <= \
+            rows["Mini-Batch"]["final_distortion"]
+        assert rows["GK-means"]["final_distortion"] <= \
+            rows["BKM"]["final_distortion"] * 1.15
+        for method in rows:
+            iterations, distortions = content["vs_iteration"][method]
+            assert len(iterations) == len(distortions) > 0
+
+
+class TestFig67:
+    def test_sweep_structure(self):
+        payload = fig67_scalability.run_size_sweep(
+            TINY, sizes=(200, 400), n_clusters=10,
+            methods=("k-means", "GK-means"))
+        assert len(payload["table"]) == 4
+        sizes, seconds = payload["series"]["k-means"]
+        assert list(sizes) == [200, 400]
+        assert all(s >= 0 for s in seconds)
+
+    def test_cluster_sweep_gkmeans_flatter_than_kmeans(self):
+        payload = fig67_scalability.run_cluster_sweep(
+            TINY, cluster_counts=(10, 40), n_samples=600,
+            methods=("k-means", "GK-means"))
+        by_method = payload["series"]
+        # growth factor of iteration cost with k should be smaller for
+        # GK-means than for k-means (Fig. 6b's defining shape).  Wall-clock at
+        # this tiny scale is noisy, so only require GK-means not to blow up.
+        k_growth = by_method["k-means"][1][-1] / max(by_method["k-means"][1][0],
+                                                     1e-9)
+        g_growth = by_method["GK-means"][1][-1] / max(by_method["GK-means"][1][0],
+                                                      1e-9)
+        assert g_growth < max(k_growth, 4.0) * 5
+
+
+class TestTables:
+    def test_table1_rows(self):
+        payload = table1_datasets.run(TINY, sample_size=100)
+        names = {row["dataset"] for row in payload["table"]}
+        assert {"sift1m", "vlad10m", "glove1m", "gist1m"} <= names
+        sift = next(r for r in payload["table"] if r["dataset"] == "sift1m")
+        assert sift["paper_size"] == 1_000_000
+        assert sift["paper_dim"] == 128
+
+    def test_table2_rows_and_shape(self):
+        payload = table2_large_k.run(TINY, samples_per_cluster=10,
+                                     n_samples=400)
+        rows = {row["method"]: row for row in payload["table"]}
+        assert set(rows) == {"KGraph+GK-means", "GK-means", "closure k-means"}
+        assert payload["metadata"]["n_clusters"] == 40
+        # GK-means distortion should be no worse than closure k-means (paper's
+        # Table 2 ordering)
+        assert rows["GK-means"]["distortion"] <= \
+            rows["closure k-means"]["distortion"] * 1.10
+        for row in rows.values():
+            assert row["total_seconds"] >= row["init_seconds"]
+
+
+class TestAnnsProbe:
+    def test_probe_reports_both_graphs(self):
+        payload = anns_probe.run(TINY, n_queries=30, n_results=5,
+                                 pool_size=32)
+        graphs = {row["graph"] for row in payload["table"]}
+        assert len(graphs) == 2
+        for row in payload["table"]:
+            assert 0.0 <= row["recall@1"] <= 1.0
+            assert row["query_ms"] > 0
+
+
+class TestAblations:
+    def test_kappa_sweep(self):
+        payload = ablations.sweep_kappa(TINY, kappas=(3, 8))
+        assert [row["kappa"] for row in payload["table"]] == [3, 8]
+        # larger κ should not hurt quality
+        assert payload["table"][1]["distortion"] <= \
+            payload["table"][0]["distortion"] * 1.10
+
+    def test_tau_sweep_recall_increases(self):
+        payload = ablations.sweep_tau(TINY, taus=(1, 4))
+        assert payload["table"][1]["recall"] >= payload["table"][0]["recall"]
+
+    def test_xi_sweep_structure(self):
+        payload = ablations.sweep_xi(TINY, xis=(20, 40))
+        assert len(payload["table"]) == 2
+        for row in payload["table"]:
+            assert 0 <= row["recall"] <= 1
+
+    def test_assignment_comparison(self):
+        payload = ablations.compare_assignment(TINY)
+        rows = {row["assignment"]: row for row in payload["table"]}
+        assert rows["boost"]["distortion"] <= rows["lloyd"]["distortion"] * 1.05
+
+    def test_equal_size_comparison(self):
+        payload = ablations.compare_equal_size(TINY)
+        rows = {row["equal_size"]: row for row in payload["table"]}
+        # the equal-size variant must keep every leaf within ~2x of n/k and
+        # never produce empty clusters
+        target = TINY.n_samples / TINY.n_clusters
+        assert rows[True]["max_cluster"] <= 2 * target + 2
+        assert rows[True]["min_cluster"] >= 1
+        assert rows[False]["min_cluster"] >= 0

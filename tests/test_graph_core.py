@@ -1,0 +1,181 @@
+"""Tests for KNNGraph, brute-force construction, random graphs and recall
+metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, ValidationError
+from repro.graph import (
+    KNNGraph,
+    NeighborHeap,
+    brute_force_knn_graph,
+    brute_force_neighbors,
+    estimate_recall_by_sampling,
+    graph_recall,
+    per_point_recall,
+    random_knn_graph,
+)
+from repro.graph.metrics import estimate_recall_by_sampling as _estimate  # noqa: F401
+
+
+class TestKNNGraph:
+    def test_basic_properties(self):
+        graph = KNNGraph(np.array([[1, 2], [0, 2], [0, 1]]))
+        assert graph.n_points == 3
+        assert graph.n_neighbors == 2
+        assert len(graph) == 3
+
+    def test_neighbors_strips_padding(self):
+        graph = KNNGraph(np.array([[1, -1], [0, -1]]))
+        assert graph.neighbors(0).tolist() == [1]
+
+    def test_distance_shape_mismatch_rejected(self):
+        with pytest.raises(GraphError, match="shape"):
+            KNNGraph(np.array([[1], [0]]), np.zeros((3, 1)))
+
+    def test_truncated(self):
+        graph = KNNGraph(np.array([[1, 2, 3], [0, 2, 3], [0, 1, 3],
+                                   [0, 1, 2]]),
+                         np.arange(12, dtype=float).reshape(4, 3))
+        small = graph.truncated(2)
+        assert small.n_neighbors == 2
+        assert small.distances.shape == (4, 2)
+
+    def test_truncate_too_wide_rejected(self):
+        graph = KNNGraph(np.array([[1], [0]]))
+        with pytest.raises(GraphError):
+            graph.truncated(5)
+
+    def test_validate_detects_self_loop(self):
+        graph = KNNGraph(np.array([[1], [0]]))
+        graph.indices[0, 0] = 0
+        with pytest.raises(GraphError, match="self-loop"):
+            graph.validate()
+
+    def test_validate_detects_duplicates(self):
+        graph = KNNGraph(np.array([[1, 2], [0, 2], [0, 1]]))
+        graph.indices[0] = [2, 2]
+        with pytest.raises(GraphError, match="duplicate"):
+            graph.validate()
+
+    def test_symmetrized_adjacency_contains_reverse_edges(self):
+        # 0 -> 1 but 1 -> 2, so symmetrisation must give 1 the edge back to 0.
+        graph = KNNGraph(np.array([[1], [2], [1]]))
+        adjacency = graph.symmetrized_adjacency()
+        assert 0 in adjacency[1]
+        assert 1 in adjacency[0]
+
+    def test_from_heap(self):
+        heap = NeighborHeap(3, 2)
+        heap.push_symmetric(0, 1, 1.0)
+        heap.push_symmetric(1, 2, 2.0)
+        graph = KNNGraph.from_heap(heap)
+        assert graph.n_points == 3
+        assert graph.indices[0, 0] == 1
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(ValidationError):
+            KNNGraph(np.array([[5], [0]]))
+
+
+class TestBruteForce:
+    def test_graph_is_exact(self, tiny_data):
+        graph = brute_force_knn_graph(tiny_data, 3)
+        # verify one row against a naive computation
+        point = 5
+        dists = ((tiny_data - tiny_data[point]) ** 2).sum(axis=1)
+        dists[point] = np.inf
+        expected = np.argsort(dists)[:3]
+        assert set(graph.indices[point]) == set(expected)
+
+    def test_no_self_matches(self, tiny_data):
+        graph = brute_force_knn_graph(tiny_data, 5)
+        assert not np.any(graph.indices == np.arange(len(tiny_data))[:, None])
+
+    def test_rows_sorted(self, tiny_data):
+        graph = brute_force_knn_graph(tiny_data, 5)
+        assert np.all(np.diff(graph.distances, axis=1) >= 0)
+
+    def test_block_size_invariance(self, tiny_data):
+        a = brute_force_knn_graph(tiny_data, 4, block_size=7)
+        b = brute_force_knn_graph(tiny_data, 4, block_size=1000)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_neighbors_queries_vs_reference(self, tiny_data):
+        queries = tiny_data[:5] + 0.01
+        indices, distances = brute_force_neighbors(queries, tiny_data, 2)
+        assert indices.shape == (5, 2)
+        # each query's nearest neighbour should be its (perturbed) source row
+        assert np.array_equal(indices[:, 0], np.arange(5))
+
+    def test_k_larger_than_n_rejected(self, tiny_data):
+        with pytest.raises(ValidationError):
+            brute_force_knn_graph(tiny_data, len(tiny_data) + 3)
+
+    def test_validate_passes(self, sift_small_graph):
+        sift_small_graph.validate()
+
+
+class TestRandomGraph:
+    def test_shape_and_no_self_loops(self, tiny_data):
+        graph = random_knn_graph(tiny_data, 4, random_state=0)
+        assert graph.indices.shape == (len(tiny_data), 4)
+        graph.validate()
+
+    def test_distances_are_true_distances(self, tiny_data):
+        graph = random_knn_graph(tiny_data, 3, random_state=1)
+        i, j = 0, int(graph.indices[0, 0])
+        expected = float(((tiny_data[i] - tiny_data[j]) ** 2).sum())
+        assert graph.distances[0, 0] == pytest.approx(expected)
+
+    def test_without_distances(self, tiny_data):
+        graph = random_knn_graph(tiny_data, 3, random_state=1,
+                                 compute_distances=False)
+        assert np.isinf(graph.distances).all()
+
+    def test_reproducible(self, tiny_data):
+        a = random_knn_graph(tiny_data, 3, random_state=9)
+        b = random_knn_graph(tiny_data, 3, random_state=9)
+        assert np.array_equal(a.indices, b.indices)
+
+
+class TestRecallMetrics:
+    def test_recall_of_truth_is_one(self, sift_small_graph):
+        assert graph_recall(sift_small_graph, sift_small_graph) == 1.0
+
+    def test_recall_of_random_graph_is_low(self, sift_small, sift_small_graph):
+        random_graph = random_knn_graph(sift_small, 10, random_state=0)
+        assert graph_recall(random_graph, sift_small_graph) < 0.3
+
+    def test_per_point_recall_range(self, sift_small, sift_small_graph):
+        random_graph = random_knn_graph(sift_small, 10, random_state=0)
+        per_point = per_point_recall(random_graph, sift_small_graph)
+        assert per_point.shape == (len(sift_small),)
+        assert (per_point >= 0).all() and (per_point <= 1).all()
+
+    def test_top1_recall_depth(self, sift_small, sift_small_graph):
+        # A graph identical in the first column but random elsewhere has
+        # perfect top-1 recall.
+        hybrid = random_knn_graph(sift_small, 10, random_state=0)
+        indices = hybrid.indices.copy()
+        indices[:, 0] = sift_small_graph.indices[:, 0]
+        # remove accidental duplicates of column 0 to keep the graph valid
+        for row in range(indices.shape[0]):
+            seen = {indices[row, 0]}
+            for col in range(1, indices.shape[1]):
+                if indices[row, col] in seen:
+                    indices[row, col] = -1
+                seen.add(indices[row, col])
+        hybrid = KNNGraph(indices)
+        assert graph_recall(hybrid, sift_small_graph, n_neighbors=1) == 1.0
+
+    def test_mismatched_graphs_rejected(self, sift_small_graph):
+        other = KNNGraph(np.array([[1], [0]]))
+        with pytest.raises(GraphError):
+            graph_recall(other, sift_small_graph)
+
+    def test_estimated_recall_close_to_exact(self, sift_small,
+                                             sift_small_graph):
+        estimate = estimate_recall_by_sampling(
+            sift_small_graph, sift_small, n_probes=80, random_state=0)
+        assert estimate > 0.9

@@ -1,0 +1,65 @@
+"""Tests for the NN-Descent (KGraph) baseline graph builder."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph import NNDescent, graph_recall, nn_descent_knn_graph
+
+
+class TestNNDescent:
+    def test_high_recall_on_small_data(self, sift_small, sift_small_graph):
+        graph = nn_descent_knn_graph(sift_small, 10, random_state=0)
+        assert graph_recall(graph, sift_small_graph) > 0.85
+
+    def test_graph_is_structurally_valid(self, sift_small):
+        graph = nn_descent_knn_graph(sift_small, 8, random_state=0)
+        graph.validate()
+        assert graph.indices.shape == (len(sift_small), 8)
+
+    def test_improves_over_random_initialisation(self, sift_small,
+                                                 sift_small_graph):
+        one_round = NNDescent(n_neighbors=10, max_iterations=1,
+                              random_state=0).build(sift_small)
+        many_rounds = NNDescent(n_neighbors=10, max_iterations=6,
+                                random_state=0).build(sift_small)
+        assert (graph_recall(many_rounds, sift_small_graph)
+                >= graph_recall(one_round, sift_small_graph))
+
+    def test_update_counts_decrease(self, sift_small):
+        builder = NNDescent(n_neighbors=8, max_iterations=8, random_state=0)
+        builder.build(sift_small)
+        assert len(builder.n_updates_) >= 2
+        assert builder.n_updates_[-1] < builder.n_updates_[0]
+
+    def test_distance_evaluations_counted(self, sift_small):
+        builder = NNDescent(n_neighbors=8, max_iterations=2, random_state=0)
+        builder.build(sift_small)
+        assert builder.n_distance_evaluations_ > len(sift_small) * 8
+
+    def test_early_termination(self, sift_small):
+        builder = NNDescent(n_neighbors=8, max_iterations=50,
+                            early_termination=0.5, random_state=0)
+        builder.build(sift_small)
+        assert len(builder.n_updates_) < 50
+
+    def test_reproducible(self, sift_small):
+        a = nn_descent_knn_graph(sift_small, 6, random_state=3)
+        b = nn_descent_knn_graph(sift_small, 6, random_state=3)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_sample_rate_validation(self, sift_small):
+        with pytest.raises(ValidationError):
+            NNDescent(n_neighbors=5, sample_rate=1.5).build(sift_small)
+
+    def test_too_many_neighbors_rejected(self):
+        data = np.random.default_rng(0).normal(size=(5, 3))
+        with pytest.raises(ValidationError):
+            NNDescent(n_neighbors=10).build(data)
+
+    def test_distances_match_indices(self, sift_small):
+        graph = nn_descent_knn_graph(sift_small, 5, random_state=0)
+        point = 7
+        neighbor = int(graph.indices[point, 0])
+        expected = float(((sift_small[point] - sift_small[neighbor]) ** 2).sum())
+        assert graph.distances[point, 0] == pytest.approx(expected)

@@ -1,0 +1,70 @@
+"""Public API surface tests: everything advertised in ``__all__`` exists,
+is importable and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ["repro.datasets", "repro.distance", "repro.graph",
+               "repro.cluster", "repro.metrics", "repro.search",
+               "repro.experiments", "repro.cli"]
+
+
+class TestPublicSurface:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackages_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    @pytest.mark.parametrize("module_name", ["repro.datasets", "repro.graph",
+                                             "repro.cluster", "repro.metrics",
+                                             "repro.search", "repro.distance"])
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_estimators_are_documented(self):
+        from repro.cluster.base import BaseClusterer
+        for name in repro.cluster.__all__:
+            obj = getattr(repro.cluster, name)
+            if inspect.isclass(obj) and issubclass(obj, BaseClusterer) \
+                    and obj is not BaseClusterer:
+                assert obj.__doc__ and len(obj.__doc__) > 40, \
+                    f"{name} lacks a class docstring"
+                assert obj._fit.__doc__ or BaseClusterer._fit.__doc__
+
+    def test_public_functions_have_docstrings(self):
+        for module_name in ["repro.graph", "repro.metrics", "repro.search"]:
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if inspect.isfunction(obj):
+                    assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+    def test_exceptions_hierarchy(self):
+        assert issubclass(repro.ValidationError, repro.ReproError)
+        assert issubclass(repro.ValidationError, ValueError)
+        assert issubclass(repro.NotFittedError, repro.ReproError)
+        assert issubclass(repro.GraphError, repro.ReproError)
+        assert issubclass(repro.DatasetError, repro.ReproError)
+
+    def test_quickstart_docstring_example_runs(self):
+        """The README / package-docstring quickstart must stay valid."""
+        from repro import GKMeans, datasets
+        data = datasets.make_sift_like(500, 16, random_state=0)
+        model = GKMeans(n_clusters=20, n_neighbors=8, graph_tau=2,
+                        graph_cluster_size=30, max_iter=3,
+                        random_state=0).fit(data)
+        assert model.labels_.shape == (500,)

@@ -1,0 +1,175 @@
+"""Unit tests for repro.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.validation import (
+    as_sequence_of_ints,
+    check_data_matrix,
+    check_fraction,
+    check_knn_indices,
+    check_labels,
+    check_positive_int,
+    check_random_state,
+)
+
+
+class TestCheckDataMatrix:
+    def test_list_input_converted(self):
+        out = check_data_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_one_dimensional_promoted_to_row(self):
+        out = check_data_matrix([1.0, 2.0, 3.0])
+        assert out.shape == (1, 3)
+
+    def test_c_contiguous(self):
+        data = np.asfortranarray(np.ones((4, 3)))
+        out = check_data_matrix(data)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_three_dimensional_rejected(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            check_data_matrix(np.ones((2, 2, 2)))
+
+    def test_min_samples_enforced(self):
+        with pytest.raises(ValidationError, match="at least 5"):
+            check_data_matrix(np.ones((3, 2)), min_samples=5)
+
+    def test_nan_rejected(self):
+        data = np.ones((3, 2))
+        data[1, 1] = np.nan
+        with pytest.raises(ValidationError, match="NaN"):
+            check_data_matrix(data)
+
+    def test_inf_rejected(self):
+        data = np.ones((3, 2))
+        data[0, 0] = np.inf
+        with pytest.raises(ValidationError):
+            check_data_matrix(data)
+
+    def test_empty_features_rejected(self):
+        with pytest.raises(ValidationError):
+            check_data_matrix(np.ones((3, 0)))
+
+
+class TestCheckLabels:
+    def test_basic(self):
+        labels = check_labels([0, 1, 2], 3)
+        assert labels.dtype == np.int64
+
+    def test_wrong_length(self):
+        with pytest.raises(ValidationError, match="length"):
+            check_labels([0, 1], 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            check_labels([0, -1, 2], 3)
+
+    def test_float_integral_accepted(self):
+        labels = check_labels(np.array([0.0, 1.0]), 2)
+        assert labels.tolist() == [0, 1]
+
+    def test_float_fractional_rejected(self):
+        with pytest.raises(ValidationError, match="integers"):
+            check_labels(np.array([0.5, 1.0]), 2)
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            check_labels(np.zeros((2, 2), dtype=int), 4)
+
+
+class TestCheckPositiveInt:
+    def test_returns_python_int(self):
+        value = check_positive_int(np.int64(5), name="x")
+        assert value == 5 and isinstance(value, int)
+
+    def test_below_minimum(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            check_positive_int(1, name="x", minimum=2)
+
+    def test_above_maximum(self):
+        with pytest.raises(ValidationError, match="<= 3"):
+            check_positive_int(4, name="x", maximum=3)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, name="x")
+
+    def test_float_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, name="x")
+
+
+class TestCheckFraction:
+    def test_valid(self):
+        assert check_fraction(0.5, name="rate") == 0.5
+
+    def test_zero_rejected_by_default(self):
+        with pytest.raises(ValidationError):
+            check_fraction(0.0, name="rate")
+
+    def test_zero_allowed_when_requested(self):
+        assert check_fraction(0.0, name="rate", allow_zero=True) == 0.0
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValidationError):
+            check_fraction(1.5, name="rate")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            check_fraction("abc", name="rate")
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = check_random_state(3).integers(0, 100, 10)
+        b = check_random_state(3).integers(0, 100, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert check_random_state(generator) is generator
+
+    def test_legacy_random_state_wrapped(self):
+        legacy = np.random.RandomState(0)
+        assert isinstance(check_random_state(legacy), np.random.Generator)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+
+
+class TestCheckKnnIndices:
+    def test_valid(self):
+        indices = check_knn_indices(np.array([[1, 2], [0, 2], [0, 1]]), 3)
+        assert indices.dtype == np.int64
+
+    def test_minus_one_padding_allowed(self):
+        check_knn_indices(np.array([[1, -1], [0, -1]]), 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            check_knn_indices(np.array([[5]]), 2)
+
+    def test_float_rejected(self):
+        with pytest.raises(ValidationError, match="integers"):
+            check_knn_indices(np.array([[0.5]]), 1)
+
+    def test_wrong_rows_rejected(self):
+        with pytest.raises(ValidationError, match="rows"):
+            check_knn_indices(np.array([[0], [1]]), 3)
+
+
+class TestAsSequenceOfInts:
+    def test_valid(self):
+        assert as_sequence_of_ints([1, 2, 3], name="grid") == [1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="empty"):
+            as_sequence_of_ints([], name="grid")
