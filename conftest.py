@@ -1,0 +1,13 @@
+"""Repo-root pytest bootstrap.
+
+Makes ``python -m pytest`` work from a clean checkout without installing the
+package or exporting ``PYTHONPATH=src``: if ``repro`` is not importable (no
+editable install), the ``src`` layout directory is put on ``sys.path``.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+if importlib.util.find_spec("repro") is None:
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent / "src"))

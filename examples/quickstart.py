@@ -13,6 +13,15 @@ and the amount of work performed.
 
 from __future__ import annotations
 
+import importlib.util
+
+if importlib.util.find_spec("repro") is None:
+    # Allow running from a clean checkout without installing the package.
+    import pathlib
+    import sys
+    sys.path.insert(0,
+                    str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro import BoostKMeans, GKMeans, KMeans, datasets
 from repro.experiments import render_table
 

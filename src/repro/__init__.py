@@ -17,6 +17,7 @@ Quickstart
 
 from ._version import __version__
 from . import datasets, distance, graph, cluster, metrics, search
+from .distance import DistanceEngine
 from .cluster import (
     BoostKMeans,
     BisectingKMeans,
@@ -51,6 +52,7 @@ __all__ = [
     "cluster",
     "metrics",
     "search",
+    "DistanceEngine",
     "GKMeans",
     "KMeans",
     "BoostKMeans",

@@ -8,8 +8,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..distance import assign_to_nearest
-from ..exceptions import NotFittedError
+from ..distance import DistanceEngine
+from ..exceptions import NotFittedError, ValidationError
 from ..validation import check_data_matrix, check_positive_int, check_random_state
 
 __all__ = ["IterationRecord", "ClusteringResult", "BaseClusterer"]
@@ -98,21 +98,47 @@ class BaseClusterer(ABC):
     scikit-learn-style attributes ``labels_``, ``cluster_centers_``,
     ``inertia_`` (sum of squared distances), ``distortion_`` (the paper's
     average distortion) and ``result_`` (the full :class:`ClusteringResult`).
+
+    Every clusterer accepts ``metric`` and ``dtype``:  cosine is handled by
+    l2-normalising the rows once at fit time, after which the squared-
+    Euclidean machinery (boost objective, triangle-inequality bounds, the
+    two-means tree) is exact for the transformed space, so centroids,
+    distortion and history are all reported in that space.  ``dot`` (inner
+    product) has no k-means geometry and is only accepted by estimators that
+    declare it in ``_supported_metrics``; ``dtype=float32`` halves the memory
+    traffic of the assignment kernels.
     """
 
+    #: Metrics this estimator supports.  "dot" lacks a k-means objective and
+    #: is only enabled on estimators whose assignment rule stays meaningful.
+    _supported_metrics = frozenset({"sqeuclidean", "cosine"})
+
     def __init__(self, n_clusters: int, *, max_iter: int = 30,
-                 random_state=None) -> None:
+                 random_state=None, metric: str = "sqeuclidean",
+                 dtype=np.float64) -> None:
         self.n_clusters = n_clusters
         self.max_iter = max_iter
         self.random_state = random_state
+        self.metric = metric
+        self.dtype = dtype
         self.result_: ClusteringResult | None = None
+        self.engine_: DistanceEngine | None = None
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def fit(self, data) -> "BaseClusterer":
         """Cluster ``data`` and store the result on the estimator."""
-        data = check_data_matrix(data, min_samples=1)
+        engine = DistanceEngine(self.metric, self.dtype)
+        if engine.metric not in self._supported_metrics:
+            raise ValidationError(
+                f"{type(self).__name__} does not support metric "
+                f"{engine.metric!r}; supported: "
+                f"{sorted(self._supported_metrics)}")
+        data = check_data_matrix(data, min_samples=1, dtype=engine.dtype)
+        data = engine.prepare_clustering(data)
+        self.engine_ = engine
+        self._work_engine = engine.clustering_engine()
         n_clusters = check_positive_int(self.n_clusters, name="n_clusters",
                                         maximum=data.shape[0])
         max_iter = check_positive_int(self.max_iter, name="max_iter")
@@ -131,10 +157,16 @@ class BaseClusterer(ABC):
         return self.fit(data).labels_
 
     def predict(self, data) -> np.ndarray:
-        """Assign new samples to the nearest fitted centroid."""
+        """Assign new samples to the nearest fitted centroid.
+
+        New data goes through the same metric transform as ``fit`` (e.g. row
+        normalisation under cosine) before the nearest-centroid assignment.
+        """
         self._check_fitted()
-        data = check_data_matrix(data)
-        labels, _ = assign_to_nearest(data, self.cluster_centers_)
+        data = check_data_matrix(data, dtype=self.engine_.dtype)
+        data = self.engine_.prepare_clustering(data)
+        labels, _ = self._work_engine.assign_to_nearest(
+            data, self.cluster_centers_)
         return labels
 
     # ------------------------------------------------------------------ #

@@ -41,8 +41,10 @@ class BisectingKMeans(BaseClusterer):
     """
 
     def __init__(self, n_clusters: int, *, bisect_iter: int = 8,
-                 split_criterion: str = "sse", random_state=None) -> None:
-        super().__init__(n_clusters, max_iter=1, random_state=random_state)
+                 split_criterion: str = "sse", random_state=None,
+                 metric: str = "sqeuclidean", dtype=np.float64) -> None:
+        super().__init__(n_clusters, max_iter=1, random_state=random_state,
+                         metric=metric, dtype=dtype)
         self.bisect_iter = bisect_iter
         self.split_criterion = split_criterion
 

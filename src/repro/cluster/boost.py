@@ -16,7 +16,6 @@ import time
 
 import numpy as np
 
-from ..distance import assign_to_nearest
 from ..validation import check_positive_int
 from .base import BaseClusterer, ClusteringResult, IterationRecord
 from .objective import ClusterState
@@ -46,9 +45,11 @@ class BoostKMeans(BaseClusterer):
 
     def __init__(self, n_clusters: int, *, max_iter: int = 30,
                  min_moves: int = 0, init_labels: np.ndarray | None = None,
-                 random_state=None) -> None:
+                 random_state=None, metric: str = "sqeuclidean",
+                 dtype=np.float64) -> None:
         super().__init__(n_clusters, max_iter=max_iter,
-                         random_state=random_state)
+                         random_state=random_state, metric=metric,
+                         dtype=dtype)
         self.min_moves = min_moves
         self.init_labels = init_labels
 
@@ -95,13 +96,6 @@ class BoostKMeans(BaseClusterer):
             iteration_seconds=iteration_seconds,
             extra={"objective": state.objective,
                    "n_distance_evaluations": evaluations})
-
-    def predict(self, data) -> np.ndarray:
-        """Assign new samples to the nearest fitted centroid."""
-        self._check_fitted()
-        labels, _ = assign_to_nearest(data, self.cluster_centers_)
-        return labels
-
 
 def _random_balanced_labels(n_samples: int, n_clusters: int,
                             rng: np.random.Generator) -> np.ndarray:

@@ -15,7 +15,6 @@ import time
 
 import numpy as np
 
-from ..distance import cross_squared_euclidean, squared_norms
 from .base import BaseClusterer, ClusteringResult, IterationRecord
 from .initialization import labels_to_centroids, resolve_init
 
@@ -34,16 +33,23 @@ class ElkanKMeans(BaseClusterer):
     benchmarks compare against Lloyd's ``n·k`` per iteration.
     """
 
+    # The triangle-inequality bounds are only valid in a true metric space:
+    # sqeuclidean natively, cosine via the unit-sphere reduction.  "dot" is
+    # rejected by the base-class metric check.
+
     def __init__(self, n_clusters: int, *, init: object = "random",
                  max_iter: int = 30, tol: float = 1e-4,
-                 random_state=None) -> None:
+                 random_state=None, metric: str = "sqeuclidean",
+                 dtype=np.float64) -> None:
         super().__init__(n_clusters, max_iter=max_iter,
-                         random_state=random_state)
+                         random_state=random_state, metric=metric,
+                         dtype=dtype)
         self.init = init
         self.tol = tol
 
     def _fit(self, data: np.ndarray, n_clusters: int, max_iter: int,
              rng: np.random.Generator) -> ClusteringResult:
+        engine = self._work_engine
         n = data.shape[0]
         init_start = time.perf_counter()
         centroids = resolve_init(self.init, data, n_clusters, rng)
@@ -52,7 +58,7 @@ class ElkanKMeans(BaseClusterer):
         # Work in plain (not squared) distances: the triangle inequality the
         # bounds rely on only holds for the metric itself.
         distance_evaluations = 0
-        all_dist = np.sqrt(cross_squared_euclidean(data, centroids))
+        all_dist = np.sqrt(engine.cross(data, centroids))
         distance_evaluations += n * n_clusters
         labels = np.argmin(all_dist, axis=1)
         upper = all_dist[np.arange(n), labels]
@@ -64,7 +70,7 @@ class ElkanKMeans(BaseClusterer):
         iter_start = time.perf_counter()
         for iteration in range(max_iter):
             # Step 1: inter-centroid distances and the s(c) radii.
-            center_dist = np.sqrt(cross_squared_euclidean(centroids, centroids))
+            center_dist = np.sqrt(engine.cross(centroids, centroids))
             np.fill_diagonal(center_dist, np.inf)
             s = 0.5 * center_dist.min(axis=1)
 
@@ -83,8 +89,8 @@ class ElkanKMeans(BaseClusterer):
                         continue
                     if not tight:
                         bound_upper = float(np.sqrt(
-                            cross_squared_euclidean(data[i][None, :],
-                                                    centroids[current][None, :])[0, 0]))
+                            engine.cross(data[i][None, :],
+                                         centroids[current][None, :])[0, 0]))
                         distance_evaluations += 1
                         lower[i, current] = bound_upper
                         upper[i] = bound_upper
@@ -93,8 +99,8 @@ class ElkanKMeans(BaseClusterer):
                                 or bound_upper <= 0.5 * center_dist[current, center]):
                             continue
                     dist = float(np.sqrt(
-                        cross_squared_euclidean(data[i][None, :],
-                                                centroids[center][None, :])[0, 0]))
+                        engine.cross(data[i][None, :],
+                                     centroids[center][None, :])[0, 0]))
                     distance_evaluations += 1
                     lower[i, center] = dist
                     if dist < bound_upper:
@@ -109,8 +115,7 @@ class ElkanKMeans(BaseClusterer):
             # Step 4-7: update centroids and adjust the bounds by the shifts.
             new_centroids = labels_to_centroids(data, labels, n_clusters,
                                                 rng=rng)
-            shift = np.sqrt(np.maximum(
-                squared_norms(new_centroids - centroids), 0.0))
+            shift = np.sqrt(engine.rowwise(new_centroids, centroids))
             lower = np.maximum(lower - shift[None, :], 0.0)
             upper = upper + shift[labels]
             centroids = new_centroids

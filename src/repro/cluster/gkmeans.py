@@ -26,7 +26,7 @@ import time
 
 import numpy as np
 
-from ..distance import DistanceCounter, cross_squared_euclidean, squared_norms
+from ..distance import DistanceCounter, DistanceEngine
 from ..exceptions import ValidationError
 from ..validation import check_knn_indices, check_positive_int
 from .base import BaseClusterer, ClusteringResult, IterationRecord
@@ -93,18 +93,24 @@ def graph_guided_lloyd_assign(data: np.ndarray, labels: np.ndarray,
                               centroids: np.ndarray,
                               neighbor_indices: np.ndarray, *,
                               data_norms: np.ndarray | None = None,
-                              block_size: int = 1024) -> np.ndarray:
+                              block_size: int = 1024,
+                              engine: DistanceEngine | None = None
+                              ) -> np.ndarray:
     """Batch assignment restricted to graph-candidate centroids (GK-means⁻).
 
     Every sample is compared against the centroids of the clusters containing
-    its graph neighbours (and its own current cluster); the closest wins.
-    Processed in blocks so the gathered ``(block, κ+1, d)`` centroid tensor
-    stays small.
+    its graph neighbours (and its own current cluster); the closest (under
+    ``engine``'s metric, squared-Euclidean by default) wins.  Processed in
+    blocks so the gathered ``(block, κ+1, d)`` centroid tensor stays small.
     """
-    n, _ = data.shape
-    if data_norms is None:
-        data_norms = squared_norms(data)
-    centroid_norms = squared_norms(centroids)
+    if engine is None:
+        engine = DistanceEngine()
+    data = engine.prepare(data)
+    centroids = engine.prepare(centroids)
+    n = data.shape[0]
+    if engine.metric != "dot" and data_norms is None:
+        data_norms = engine.norms(data)
+    centroid_norms = engine.norms(centroids)
 
     new_labels = np.empty(n, dtype=np.int64)
     for start in range(0, n, block_size):
@@ -118,8 +124,11 @@ def graph_guided_lloyd_assign(data: np.ndarray, labels: np.ndarray,
             [candidate_labels, labels[start:stop, None]], axis=1)
         gathered = centroids[candidate_labels]            # (b, κ+1, d)
         dots = np.einsum("bd,bcd->bc", data[start:stop], gathered)
-        dists = (data_norms[start:stop, None]
-                 - 2.0 * dots + centroid_norms[candidate_labels])
+        dists = engine.from_inner(
+            dots,
+            None if data_norms is None else data_norms[start:stop],
+            None if centroid_norms is None
+            else centroid_norms[candidate_labels])
         best = np.argmin(dists, axis=1)
         new_labels[start:stop] = candidate_labels[np.arange(stop - start), best]
     return new_labels
@@ -160,6 +169,14 @@ class GKMeans(BaseClusterer):
         Convergence threshold on the number of moves per sweep.
     random_state:
         Seed or generator.
+    metric:
+        ``"sqeuclidean"`` (default), ``"cosine"`` (rows are l2-normalised
+        once, then everything runs in the exact squared-Euclidean reduction)
+        or ``"dot"`` (inner product; requires ``assignment="lloyd"`` and a
+        non-clustering graph builder, since the boost ΔI objective and Alg. 3
+        both need the k-means geometry).
+    dtype:
+        ``float64`` (default) or ``float32`` for the distance kernels.
 
     Attributes
     ----------
@@ -167,15 +184,19 @@ class GKMeans(BaseClusterer):
         The k-NN graph actually used (built or supplied).
     """
 
+    _supported_metrics = frozenset({"sqeuclidean", "cosine", "dot"})
+
     def __init__(self, n_clusters: int, *, n_neighbors: int = 50,
                  graph=None, graph_builder: str = "clustering",
                  graph_tau: int = 10, graph_cluster_size: int = 50,
                  assignment: str = "boost", init: object = "two-means",
                  bisection: str = "lloyd", max_iter: int = 30,
                  min_moves: int = 0, tol: float = 1e-4,
-                 random_state=None) -> None:
+                 random_state=None, metric: str = "sqeuclidean",
+                 dtype=np.float64) -> None:
         super().__init__(n_clusters, max_iter=max_iter,
-                         random_state=random_state)
+                         random_state=random_state, metric=metric,
+                         dtype=dtype)
         self.n_neighbors = n_neighbors
         self.graph = graph
         self.graph_builder = graph_builder
@@ -196,6 +217,11 @@ class GKMeans(BaseClusterer):
         if self.assignment not in {"boost", "lloyd"}:
             raise ValidationError(
                 f"assignment must be 'boost' or 'lloyd', got {self.assignment!r}")
+        engine = self._work_engine
+        if engine.metric == "dot" and self.assignment != "lloyd":
+            raise ValidationError(
+                "metric 'dot' has no boost (ΔI) objective; use "
+                "assignment='lloyd' for inner-product GK-means")
         n_neighbors = check_positive_int(self.n_neighbors, name="n_neighbors",
                                          maximum=max(1, data.shape[0] - 1))
         min_moves = check_positive_int(self.min_moves, name="min_moves",
@@ -227,22 +253,21 @@ class GKMeans(BaseClusterer):
             centroids = state.centroids()
             distortion = state.distortion
         else:
-            data_norms = squared_norms(data)
+            data_norms = engine.norms(data)
             labels = state.labels.copy()
             centroids = state.centroids()
             previous_distortion = np.inf
             for iteration in range(max_iter):
                 new_labels = graph_guided_lloyd_assign(
                     data, labels, centroids, neighbor_indices,
-                    data_norms=data_norms)
+                    data_norms=data_norms, engine=engine)
                 counter.add(data.shape[0] * (neighbor_indices.shape[1] + 1))
                 moves = int(np.sum(new_labels != labels))
                 labels = new_labels
                 centroids = labels_to_centroids(data, labels, n_clusters,
                                                 rng=rng)
-                diffs = data - centroids[labels]
                 distortion = float(
-                    np.einsum("ij,ij->i", diffs, diffs).mean())
+                    engine.rowwise(data, centroids[labels]).mean())
                 history.append(IterationRecord(
                     iteration=iteration, distortion=distortion,
                     elapsed_seconds=time.perf_counter() - iter_start,
@@ -255,8 +280,7 @@ class GKMeans(BaseClusterer):
                     converged = True
                     break
                 previous_distortion = distortion
-            diffs = data - centroids[labels]
-            distortion = float(np.einsum("ij,ij->i", diffs, diffs).mean())
+            distortion = float(engine.rowwise(data, centroids[labels]).mean())
         iteration_seconds = time.perf_counter() - iter_start
 
         return ClusteringResult(
@@ -286,23 +310,30 @@ class GKMeans(BaseClusterer):
 
         start = time.perf_counter()
         builder = str(self.graph_builder).lower()
+        # Builders run in the already-transformed clustering space, so they
+        # get the *work* engine's metric (sqeuclidean for cosine input).
+        work = self._work_engine
         if builder == "clustering":
             # Imported lazily: repro.graph.construction itself calls back into
             # this module, and a module-level import would create a cycle.
             from ..graph.construction import build_knn_graph_by_clustering
             result = build_knn_graph_by_clustering(
                 data, n_neighbors, tau=self.graph_tau,
-                cluster_size=self.graph_cluster_size, random_state=rng)
+                cluster_size=self.graph_cluster_size, random_state=rng,
+                metric=work.metric, dtype=work.dtype)
             graph = result.graph
             self._graph_evaluations = result.n_distance_evaluations
         elif builder in {"nn-descent", "nndescent", "kgraph"}:
             from ..graph.nndescent import NNDescent
-            nn_builder = NNDescent(n_neighbors=n_neighbors, random_state=rng)
+            nn_builder = NNDescent(n_neighbors=n_neighbors, random_state=rng,
+                                   metric=work.metric, dtype=work.dtype)
             graph = nn_builder.build(data)
             self._graph_evaluations = nn_builder.n_distance_evaluations_
         elif builder in {"brute-force", "bruteforce", "exact"}:
             from ..graph.bruteforce import brute_force_knn_graph
-            graph = brute_force_knn_graph(data, n_neighbors)
+            graph = brute_force_knn_graph(data, n_neighbors,
+                                          metric=work.metric,
+                                          dtype=work.dtype)
         else:
             raise ValidationError(
                 "graph_builder must be 'clustering', 'nn-descent' or "
@@ -316,8 +347,14 @@ class GKMeans(BaseClusterer):
         if isinstance(self.init, str):
             key = self.init.lower()
             if key in {"two-means", "2m", "two_means"}:
+                # ``data`` is already in the clustering space; the tree always
+                # bisects with l2 geometry (also for "dot", where it is just a
+                # spatial splitting heuristic).
+                work = self._work_engine
+                metric = work.metric if work.kmeans_geometry else "sqeuclidean"
                 return two_means_labels(data, n_clusters, random_state=rng,
-                                        bisection=self.bisection)
+                                        bisection=self.bisection,
+                                        metric=metric, dtype=work.dtype)
             if key == "random":
                 labels = rng.integers(0, n_clusters,
                                       size=data.shape[0]).astype(np.int64)

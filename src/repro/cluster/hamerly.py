@@ -13,7 +13,6 @@ import time
 
 import numpy as np
 
-from ..distance import cross_squared_euclidean, squared_norms
 from .base import BaseClusterer, ClusteringResult, IterationRecord
 from .initialization import labels_to_centroids, resolve_init
 
@@ -28,23 +27,29 @@ class HamerlyKMeans(BaseClusterer):
     ``result_.extra["n_distance_evaluations"]``.
     """
 
+    # Like Elkan, the single lower bound relies on the triangle inequality:
+    # valid for sqeuclidean and (via normalisation) cosine, never for "dot".
+
     def __init__(self, n_clusters: int, *, init: object = "random",
                  max_iter: int = 30, tol: float = 1e-4,
-                 random_state=None) -> None:
+                 random_state=None, metric: str = "sqeuclidean",
+                 dtype=np.float64) -> None:
         super().__init__(n_clusters, max_iter=max_iter,
-                         random_state=random_state)
+                         random_state=random_state, metric=metric,
+                         dtype=dtype)
         self.init = init
         self.tol = tol
 
     def _fit(self, data: np.ndarray, n_clusters: int, max_iter: int,
              rng: np.random.Generator) -> ClusteringResult:
+        engine = self._work_engine
         n = data.shape[0]
         init_start = time.perf_counter()
         centroids = resolve_init(self.init, data, n_clusters, rng)
         init_seconds = time.perf_counter() - init_start
 
         distance_evaluations = 0
-        all_dist = np.sqrt(cross_squared_euclidean(data, centroids))
+        all_dist = np.sqrt(engine.cross(data, centroids))
         distance_evaluations += n * n_clusters
         order = np.argsort(all_dist, axis=1)
         labels = order[:, 0].astype(np.int64)
@@ -59,7 +64,7 @@ class HamerlyKMeans(BaseClusterer):
         converged = False
         iter_start = time.perf_counter()
         for iteration in range(max_iter):
-            center_dist = np.sqrt(cross_squared_euclidean(centroids, centroids))
+            center_dist = np.sqrt(engine.cross(centroids, centroids))
             np.fill_diagonal(center_dist, np.inf)
             s = 0.5 * center_dist.min(axis=1)
 
@@ -68,8 +73,7 @@ class HamerlyKMeans(BaseClusterer):
             candidates = np.nonzero(upper > threshold)[0]
             moves = 0
             if candidates.size:
-                block = np.sqrt(cross_squared_euclidean(data[candidates],
-                                                        centroids))
+                block = np.sqrt(engine.cross(data[candidates], centroids))
                 distance_evaluations += candidates.size * n_clusters
                 cand_order = np.argsort(block, axis=1)
                 new_labels = cand_order[:, 0]
@@ -82,8 +86,7 @@ class HamerlyKMeans(BaseClusterer):
 
             new_centroids = labels_to_centroids(data, labels, n_clusters,
                                                 rng=rng)
-            shift = np.sqrt(np.maximum(
-                squared_norms(new_centroids - centroids), 0.0))
+            shift = np.sqrt(engine.rowwise(new_centroids, centroids))
             largest = float(shift.max()) if shift.size else 0.0
             upper = upper + shift[labels]
             lower = np.maximum(lower - largest, 0.0)

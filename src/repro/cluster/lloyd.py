@@ -11,7 +11,7 @@ import time
 
 import numpy as np
 
-from ..distance import DistanceCounter, assign_to_nearest, squared_norms
+from ..distance import DistanceCounter
 from .base import BaseClusterer, ClusteringResult, IterationRecord
 from .initialization import labels_to_centroids, resolve_init
 
@@ -36,21 +36,30 @@ class KMeans(BaseClusterer):
     count_distances:
         When true, the number of sample-to-centroid distance evaluations is
         accumulated in ``result_.extra["n_distance_evaluations"]``.
+    metric, dtype:
+        Distance engine configuration (see :class:`BaseClusterer`).  ``dot``
+        assigns each sample to the centroid of largest inner product — a
+        heuristic MIPS partitioner with no convergence guarantee.
     """
+
+    _supported_metrics = frozenset({"sqeuclidean", "cosine", "dot"})
 
     def __init__(self, n_clusters: int, *, init: object = "random",
                  max_iter: int = 30, tol: float = 1e-4, random_state=None,
-                 count_distances: bool = False) -> None:
+                 count_distances: bool = False, metric: str = "sqeuclidean",
+                 dtype=np.float64) -> None:
         super().__init__(n_clusters, max_iter=max_iter,
-                         random_state=random_state)
+                         random_state=random_state, metric=metric,
+                         dtype=dtype)
         self.init = init
         self.tol = tol
         self.count_distances = count_distances
 
     def _fit(self, data: np.ndarray, n_clusters: int, max_iter: int,
              rng: np.random.Generator) -> ClusteringResult:
+        engine = self._work_engine
         counter = DistanceCounter() if self.count_distances else None
-        data_norms = squared_norms(data)
+        data_norms = engine.norms(data)
 
         init_start = time.perf_counter()
         centroids = resolve_init(self.init, data, n_clusters, rng)
@@ -62,7 +71,7 @@ class KMeans(BaseClusterer):
         converged = False
         iter_start = time.perf_counter()
         for iteration in range(max_iter):
-            labels, distances = assign_to_nearest(
+            labels, distances = engine.assign_to_nearest(
                 data, centroids, data_norms=data_norms, counter=counter)
             n_moves = int(np.sum(labels != previous_labels))
             previous_labels = labels
@@ -82,7 +91,7 @@ class KMeans(BaseClusterer):
         iteration_seconds = time.perf_counter() - iter_start
 
         # Final distortion against the last centroid update.
-        labels, distances = assign_to_nearest(
+        labels, distances = engine.assign_to_nearest(
             data, centroids, data_norms=data_norms, counter=counter)
         extra = {}
         if counter is not None:

@@ -13,7 +13,6 @@ import time
 
 import numpy as np
 
-from ..distance import assign_to_nearest, squared_norms
 from ..validation import check_positive_int
 from .base import BaseClusterer, ClusteringResult, IterationRecord
 from .initialization import resolve_init
@@ -42,22 +41,27 @@ class MiniBatchKMeans(BaseClusterer):
         Seed or generator.
     """
 
+    _supported_metrics = frozenset({"sqeuclidean", "cosine", "dot"})
+
     def __init__(self, n_clusters: int, *, batch_size: int = 256,
                  init: object = "random", max_iter: int = 30,
-                 record_every: int = 1, random_state=None) -> None:
+                 record_every: int = 1, random_state=None,
+                 metric: str = "sqeuclidean", dtype=np.float64) -> None:
         super().__init__(n_clusters, max_iter=max_iter,
-                         random_state=random_state)
+                         random_state=random_state, metric=metric,
+                         dtype=dtype)
         self.batch_size = batch_size
         self.init = init
         self.record_every = record_every
 
     def _fit(self, data: np.ndarray, n_clusters: int, max_iter: int,
              rng: np.random.Generator) -> ClusteringResult:
+        engine = self._work_engine
         batch_size = check_positive_int(self.batch_size, name="batch_size")
         record_every = check_positive_int(self.record_every,
                                           name="record_every")
         batch_size = min(batch_size, data.shape[0])
-        data_norms = squared_norms(data)
+        data_norms = engine.norms(data)
 
         init_start = time.perf_counter()
         centroids = resolve_init(self.init, data, n_clusters, rng)
@@ -71,8 +75,9 @@ class MiniBatchKMeans(BaseClusterer):
             batch_idx = rng.choice(data.shape[0], size=batch_size,
                                    replace=False)
             batch = data[batch_idx]
-            batch_labels, _ = assign_to_nearest(
-                batch, centroids, data_norms=data_norms[batch_idx])
+            batch_norms = None if data_norms is None else data_norms[batch_idx]
+            batch_labels, _ = engine.assign_to_nearest(
+                batch, centroids, data_norms=batch_norms)
             evaluations += batch_size * n_clusters
             moved = 0
             for row, center in enumerate(batch_labels):
@@ -82,8 +87,8 @@ class MiniBatchKMeans(BaseClusterer):
                                      + learning_rate * batch[row])
                 moved += 1
             if (iteration % record_every == 0) or iteration == max_iter - 1:
-                _, distances = assign_to_nearest(data, centroids,
-                                                 data_norms=data_norms)
+                _, distances = engine.assign_to_nearest(
+                    data, centroids, data_norms=data_norms)
                 history.append(IterationRecord(
                     iteration=iteration,
                     distortion=float(distances.mean()),
@@ -91,8 +96,8 @@ class MiniBatchKMeans(BaseClusterer):
                     n_moves=moved))
         iteration_seconds = time.perf_counter() - iter_start
 
-        labels, distances = assign_to_nearest(data, centroids,
-                                              data_norms=data_norms)
+        labels, distances = engine.assign_to_nearest(data, centroids,
+                                                     data_norms=data_norms)
         return ClusteringResult(
             labels=labels, centroids=centroids,
             distortion=float(distances.mean()), history=history,

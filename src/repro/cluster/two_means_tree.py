@@ -20,7 +20,7 @@ import time
 
 import numpy as np
 
-from ..distance import cross_squared_euclidean
+from ..distance import DistanceEngine
 from ..exceptions import ValidationError
 from ..validation import check_data_matrix, check_positive_int, check_random_state
 from .base import BaseClusterer, ClusteringResult, IterationRecord
@@ -30,7 +30,8 @@ __all__ = ["TwoMeansTree", "two_means_labels"]
 
 
 def _bisect_lloyd(data: np.ndarray, members: np.ndarray,
-                  rng: np.random.Generator, n_iter: int) -> np.ndarray:
+                  rng: np.random.Generator, n_iter: int,
+                  engine: DistanceEngine) -> np.ndarray:
     """Split ``members`` into two groups with a few vectorised 2-means steps.
 
     Returns a boolean mask over ``members``: True = second group.
@@ -40,7 +41,7 @@ def _bisect_lloyd(data: np.ndarray, members: np.ndarray,
     centroids = subset[seeds].copy()
     assignment = np.zeros(members.size, dtype=bool)
     for _ in range(n_iter):
-        distances = cross_squared_euclidean(subset, centroids)
+        distances = engine.cross(subset, centroids)
         new_assignment = distances[:, 1] < distances[:, 0]
         if new_assignment.all() or not new_assignment.any():
             # Degenerate split (identical seeds); perturb by random halving.
@@ -56,7 +57,8 @@ def _bisect_lloyd(data: np.ndarray, members: np.ndarray,
 
 
 def _bisect_boost(data: np.ndarray, members: np.ndarray,
-                  rng: np.random.Generator, n_iter: int) -> np.ndarray:
+                  rng: np.random.Generator, n_iter: int,
+                  engine: DistanceEngine) -> np.ndarray:
     """Split ``members`` with a small incremental (boost) 2-means.
 
     This is the faithful version of the paper's Step 8 ("boost k-means is
@@ -82,7 +84,7 @@ def _bisect_boost(data: np.ndarray, members: np.ndarray,
 
 
 def _equalize(data: np.ndarray, members: np.ndarray,
-              assignment: np.ndarray) -> np.ndarray:
+              assignment: np.ndarray, engine: DistanceEngine) -> np.ndarray:
     """Adjust a bisection so both halves have (almost) equal size (Alg. 1, l. 9).
 
     Samples are ranked by how much closer they are to the second centroid than
@@ -97,8 +99,8 @@ def _equalize(data: np.ndarray, members: np.ndarray,
         # Degenerate: split arbitrarily around the global mean direction.
         centroid_a = subset.mean(axis=0)
         centroid_b = centroid_a + 1e-9
-    dist_a = cross_squared_euclidean(subset, centroid_a[None, :])[:, 0]
-    dist_b = cross_squared_euclidean(subset, centroid_b[None, :])[:, 0]
+    dist_a = engine.cross(subset, centroid_a[None, :])[:, 0]
+    dist_b = engine.cross(subset, centroid_b[None, :])[:, 0]
     preference = dist_a - dist_b  # larger = prefers cluster b
     half = members.size // 2
     order = np.argsort(preference, kind="stable")
@@ -109,7 +111,8 @@ def _equalize(data: np.ndarray, members: np.ndarray,
 
 def two_means_labels(data: np.ndarray, n_clusters: int, *, random_state=None,
                      bisection: str = "lloyd", bisect_iter: int = 4,
-                     equal_size: bool = True) -> np.ndarray:
+                     equal_size: bool = True, metric: str = "sqeuclidean",
+                     dtype=np.float64) -> np.ndarray:
     """Run Alg. 1 and return the cluster label of every sample.
 
     Parameters
@@ -129,8 +132,19 @@ def two_means_labels(data: np.ndarray, n_clusters: int, *, random_state=None,
         Apply the equal-size adjustment (Alg. 1, line 9).  Disabling it turns
         the procedure into plain bisecting k-means by largest cluster and is
         exposed for the ablation benchmarks.
+    metric, dtype:
+        Distance engine configuration.  ``sqeuclidean`` and ``cosine`` only —
+        bisecting relies on the k-means geometry (cosine rows are normalised
+        once up front).
     """
-    data = check_data_matrix(data, min_samples=1)
+    outer = DistanceEngine(metric, dtype)
+    if not outer.kmeans_geometry:
+        raise ValidationError(
+            f"two-means tree requires the squared-Euclidean or cosine "
+            f"metric, got {outer.metric!r}")
+    data = check_data_matrix(data, min_samples=1, dtype=outer.dtype)
+    data = outer.prepare_clustering(data)
+    engine = outer.clustering_engine()
     n = data.shape[0]
     n_clusters = check_positive_int(n_clusters, name="n_clusters", maximum=n)
     bisect_iter = check_positive_int(bisect_iter, name="bisect_iter")
@@ -154,9 +168,9 @@ def two_means_labels(data: np.ndarray, n_clusters: int, *, random_state=None,
             counter += 1
             heapq.heappush(heap, (neg_size, counter, members))
             break
-        assignment = bisect(data, members, rng, bisect_iter)
+        assignment = bisect(data, members, rng, bisect_iter, engine)
         if equal_size:
-            assignment = _equalize(data, members, assignment)
+            assignment = _equalize(data, members, assignment, engine)
         group_a = members[~assignment]
         group_b = members[assignment]
         if group_a.size == 0 or group_b.size == 0:
@@ -190,8 +204,10 @@ class TwoMeansTree(BaseClusterer):
 
     def __init__(self, n_clusters: int, *, bisection: str = "lloyd",
                  bisect_iter: int = 4, equal_size: bool = True,
-                 random_state=None) -> None:
-        super().__init__(n_clusters, max_iter=1, random_state=random_state)
+                 random_state=None, metric: str = "sqeuclidean",
+                 dtype=np.float64) -> None:
+        super().__init__(n_clusters, max_iter=1, random_state=random_state,
+                         metric=metric, dtype=dtype)
         self.bisection = bisection
         self.bisect_iter = bisect_iter
         self.equal_size = equal_size
@@ -199,9 +215,12 @@ class TwoMeansTree(BaseClusterer):
     def _fit(self, data: np.ndarray, n_clusters: int, max_iter: int,
              rng: np.random.Generator) -> ClusteringResult:
         start = time.perf_counter()
+        # ``data`` is already transformed by the base class, so the tree runs
+        # with the work engine's (squared-Euclidean) metric.
         labels = two_means_labels(
             data, n_clusters, random_state=rng, bisection=self.bisection,
-            bisect_iter=self.bisect_iter, equal_size=self.equal_size)
+            bisect_iter=self.bisect_iter, equal_size=self.equal_size,
+            metric=self._work_engine.metric, dtype=self._work_engine.dtype)
         state = ClusterState(data, labels, n_clusters)
         elapsed = time.perf_counter() - start
         history = [IterationRecord(iteration=0, distortion=state.distortion,

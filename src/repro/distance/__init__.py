@@ -1,10 +1,20 @@
 """Distance kernels used throughout the library.
 
-Everything in the paper operates in Euclidean (l2) space; the kernels here
-implement squared-Euclidean distance computations in blocked, memory-bounded
-form so that million-scale matrices never have to be materialised at once.
+Two layers live here:
+
+* :mod:`repro.distance.kernels` — the original blocked squared-Euclidean
+  float64 kernels (the paper's setting), kept as simple module functions.
+* :mod:`repro.distance.engine` — :class:`DistanceEngine`, the pluggable
+  metric/dtype generalisation (squared-Euclidean, cosine, inner-product ×
+  float32/float64) that the clustering, graph and search layers are threaded
+  through.  Its ``sqeuclidean``/``float64`` configuration is numerically
+  identical to the legacy kernels.
+
+All hot paths are blocked and memory-bounded so million-scale matrices never
+have to be materialised at once, and every block costs a single BLAS gemm.
 """
 
+from .engine import DistanceEngine, METRICS, resolve_dtype, resolve_metric
 from .kernels import (
     DistanceCounter,
     squared_euclidean,
@@ -17,6 +27,10 @@ from .kernels import (
 from .norms import squared_norms, normalize_rows
 
 __all__ = [
+    "DistanceEngine",
+    "METRICS",
+    "resolve_metric",
+    "resolve_dtype",
     "DistanceCounter",
     "squared_euclidean",
     "pairwise_squared_euclidean",

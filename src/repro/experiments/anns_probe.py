@@ -26,18 +26,24 @@ def run(scale: ExperimentScale = DEFAULT, *, n_queries: int = 100,
                                       random_state=scale.random_state)
 
     graphs = {
-        "Alg.3 (GK-means graph)": build_knn_graph_by_clustering(
+        "NN-Descent (KGraph)": nn_descent_knn_graph(
+            base, scale.n_neighbors, random_state=scale.random_state,
+            metric=scale.metric, dtype=scale.dtype),
+    }
+    # Alg. 3 is a clustering, so it only exists for metrics with a k-means
+    # geometry (sqeuclidean / cosine).
+    if scale.metric != "dot":
+        graphs["Alg.3 (GK-means graph)"] = build_knn_graph_by_clustering(
             base, scale.n_neighbors, tau=scale.graph_tau,
             cluster_size=scale.cluster_size,
-            random_state=scale.random_state).graph,
-        "NN-Descent (KGraph)": nn_descent_knn_graph(
-            base, scale.n_neighbors, random_state=scale.random_state),
-    }
+            random_state=scale.random_state,
+            metric=scale.metric, dtype=scale.dtype).graph
 
     rows = []
-    for name, graph in graphs.items():
+    for name, graph in sorted(graphs.items()):
         searcher = GraphSearcher(base, graph, pool_size=pool_size,
-                                 random_state=scale.random_state)
+                                 random_state=scale.random_state,
+                                 metric=scale.metric, dtype=scale.dtype)
         evaluation = evaluate_search(searcher, queries, n_results=n_results)
         rows.append({
             "graph": name,

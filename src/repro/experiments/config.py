@@ -39,6 +39,12 @@ class ExperimentScale:
         Iteration budget for the clustering comparisons (paper: 30).
     random_state:
         Seed shared by the drivers for reproducibility.
+    metric:
+        Distance metric the drivers thread into the clusterers, graph
+        builders and searchers that accept one (``"sqeuclidean"``,
+        ``"cosine"`` or ``"dot"``).
+    dtype:
+        Kernel dtype as a string (``"float64"`` or ``"float32"``).
     """
 
     n_samples: int = 10_000
@@ -49,6 +55,8 @@ class ExperimentScale:
     graph_tau: int = 10
     max_iter: int = 30
     random_state: int = 7
+    metric: str = "sqeuclidean"
+    dtype: str = "float64"
 
     def scaled(self, **overrides) -> "ExperimentScale":
         """Copy of this preset with the given fields replaced."""
@@ -61,6 +69,8 @@ class ExperimentScale:
             "graph_tau": self.graph_tau,
             "max_iter": self.max_iter,
             "random_state": self.random_state,
+            "metric": self.metric,
+            "dtype": self.dtype,
         }
         values.update(overrides)
         return ExperimentScale(**values)

@@ -2,14 +2,16 @@
 
 Used to produce the ground truth against which approximate graphs are scored
 (the paper does the same for SIFT1M, at a cost of >20 hours; our scaled
-datasets make this cheap).
+datasets make this cheap).  All metrics and dtypes of
+:class:`~repro.distance.DistanceEngine` are supported, so the same oracle
+serves cosine and inner-product benchmarks.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..distance import cross_squared_euclidean, squared_norms
+from ..distance import DistanceEngine
 from ..validation import check_data_matrix, check_positive_int
 from .knngraph import KNNGraph
 
@@ -18,7 +20,9 @@ __all__ = ["brute_force_knn_graph", "brute_force_neighbors"]
 
 def brute_force_neighbors(queries: np.ndarray, reference: np.ndarray,
                           n_neighbors: int, *, block_size: int = 512,
-                          exclude_self: bool = False
+                          exclude_self: bool = False,
+                          metric: str = "sqeuclidean", dtype=np.float64,
+                          engine: DistanceEngine | None = None
                           ) -> tuple[np.ndarray, np.ndarray]:
     """Exact ``n_neighbors`` nearest neighbours of each query in ``reference``.
 
@@ -32,26 +36,34 @@ def brute_force_neighbors(queries: np.ndarray, reference: np.ndarray,
         Queries processed per block (bounds peak memory).
     exclude_self:
         When the query set *is* the reference set, exclude the trivial
-        zero-distance self match (used for graph ground truth).
+        self match (used for graph ground truth).
+    metric, dtype:
+        Distance engine configuration; ignored when ``engine`` is given.
+    engine:
+        Optional pre-built :class:`~repro.distance.DistanceEngine`.
 
     Returns
     -------
     (indices, distances):
-        Both of shape ``(m, n_neighbors)``, sorted by ascending distance.
+        Both of shape ``(m, n_neighbors)``, sorted by ascending distance
+        (for ``"dot"`` that means descending inner product).
     """
-    queries = check_data_matrix(queries, name="queries")
-    reference = check_data_matrix(reference, name="reference")
+    if engine is None:
+        engine = DistanceEngine(metric, dtype)
+    queries = check_data_matrix(queries, name="queries", dtype=engine.dtype)
+    reference = check_data_matrix(reference, name="reference",
+                                  dtype=engine.dtype)
     n_neighbors = check_positive_int(n_neighbors, name="n_neighbors",
                                      maximum=reference.shape[0])
-    ref_norms = squared_norms(reference)
+    ref_norms = engine.norms(reference)
 
     m = queries.shape[0]
     out_idx = np.empty((m, n_neighbors), dtype=np.int64)
     out_dist = np.empty((m, n_neighbors), dtype=np.float64)
     for start in range(0, m, block_size):
         stop = min(start + block_size, m)
-        block = cross_squared_euclidean(queries[start:stop], reference,
-                                        b_norms=ref_norms)
+        block = engine.cross(queries[start:stop], reference,
+                             b_norms=ref_norms)
         if exclude_self:
             rows = np.arange(start, stop)
             block[np.arange(stop - start), rows] = np.inf
@@ -65,11 +77,16 @@ def brute_force_neighbors(queries: np.ndarray, reference: np.ndarray,
 
 
 def brute_force_knn_graph(data: np.ndarray, n_neighbors: int, *,
-                          block_size: int = 512) -> KNNGraph:
+                          block_size: int = 512,
+                          metric: str = "sqeuclidean", dtype=np.float64,
+                          engine: DistanceEngine | None = None) -> KNNGraph:
     """Exact k-NN graph of ``data`` (self matches excluded)."""
-    data = check_data_matrix(data, min_samples=2)
+    if engine is None:
+        engine = DistanceEngine(metric, dtype)
+    data = check_data_matrix(data, min_samples=2, dtype=engine.dtype)
     n_neighbors = check_positive_int(n_neighbors, name="n_neighbors",
                                      maximum=data.shape[0] - 1)
     indices, distances = brute_force_neighbors(
-        data, data, n_neighbors, block_size=block_size, exclude_self=True)
-    return KNNGraph(indices, distances)
+        data, data, n_neighbors, block_size=block_size, exclude_self=True,
+        engine=engine)
+    return KNNGraph(indices, distances, metric=engine.metric)

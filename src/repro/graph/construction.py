@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..distance import pairwise_squared_euclidean
+from ..distance import DistanceEngine
+from ..exceptions import ValidationError
 from ..validation import (
     check_data_matrix,
     check_positive_int,
@@ -88,7 +89,9 @@ class GraphConstructionResult:
 
 def _merge_cluster_block(indices: np.ndarray, distances: np.ndarray,
                          members: np.ndarray, data: np.ndarray,
-                         n_neighbors: int) -> None:
+                         n_neighbors: int,
+                         engine: DistanceEngine | None = None,
+                         norms: np.ndarray | None = None) -> None:
     """Refine the neighbour lists of ``members`` with their pairwise distances.
 
     Implements lines 8–14 of Alg. 3 for one cluster, vectorised: the existing
@@ -99,7 +102,10 @@ def _merge_cluster_block(indices: np.ndarray, distances: np.ndarray,
     m = members.size
     if m < 2:
         return
-    block = pairwise_squared_euclidean(data[members])
+    if engine is None:
+        engine = DistanceEngine()
+    block = engine.pairwise(data[members],
+                            None if norms is None else norms[members])
     np.fill_diagonal(block, np.inf)
 
     current_idx = indices[members]                     # (m, κ)
@@ -126,7 +132,9 @@ def build_knn_graph_by_clustering(data: np.ndarray, n_neighbors: int, *,
                                   bisection: str = "lloyd",
                                   max_block: int | None = None,
                                   truth: KNNGraph | None = None,
-                                  random_state=None
+                                  random_state=None,
+                                  metric: str = "sqeuclidean",
+                                  dtype=np.float64
                                   ) -> GraphConstructionResult:
     """Build an approximate k-NN graph with the paper's Alg. 3.
 
@@ -154,8 +162,24 @@ def build_knn_graph_by_clustering(data: np.ndarray, n_neighbors: int, *,
         (this is how Fig. 2 is produced).
     random_state:
         Seed or generator.
+    metric, dtype:
+        Distance engine configuration.  ``sqeuclidean`` and ``cosine`` only:
+        the construction *is* clustering, so it needs the k-means geometry.
+        Cosine rows are normalised once, the rounds run in the exact
+        squared-Euclidean reduction, and the returned graph's distances are
+        converted back to cosine (``d_cos = d_l2² / 2`` on the unit sphere).
+        For inner-product graphs use NN-Descent or brute force instead.
     """
-    data = check_data_matrix(data, min_samples=2)
+    outer = DistanceEngine(metric, dtype)
+    if not outer.kmeans_geometry:
+        raise ValidationError(
+            "clustering-based graph construction requires the "
+            "squared-Euclidean or cosine metric (its clustering step needs "
+            f"the k-means geometry), got {outer.metric!r}; build "
+            "inner-product graphs with NN-Descent or brute force")
+    data = check_data_matrix(data, min_samples=2, dtype=outer.dtype)
+    data = outer.prepare_clustering(data)
+    engine = outer.clustering_engine()
     n = data.shape[0]
     n_neighbors = check_positive_int(n_neighbors, name="n_neighbors",
                                      maximum=n - 1)
@@ -175,9 +199,11 @@ def build_knn_graph_by_clustering(data: np.ndarray, n_neighbors: int, *,
 
     counter = DistanceCounter()
     start = time.perf_counter()
-    initial = random_knn_graph(data, n_neighbors, random_state=rng)
+    initial = random_knn_graph(data, n_neighbors, random_state=rng,
+                               engine=engine)
     indices = initial.indices.copy()
     distances = initial.distances.copy()
+    norms = engine.norms(data)
 
     n_clusters = max(2, n // cluster_size)
     history: list[GraphRound] = []
@@ -185,7 +211,8 @@ def build_knn_graph_by_clustering(data: np.ndarray, n_neighbors: int, *,
         round_start = time.perf_counter()
         # --- clustering step: GK-means with the current graph, t = 1 -------
         labels = two_means_labels(data, n_clusters, random_state=rng,
-                                  bisection=bisection)
+                                  bisection=bisection,
+                                  metric=engine.metric, dtype=engine.dtype)
         state = ClusterState(data, labels, n_clusters)
         graph_guided_boost_pass(state, indices, rng, counter=counter)
 
@@ -199,7 +226,7 @@ def build_knn_graph_by_clustering(data: np.ndarray, n_neighbors: int, *,
                 members = rng.choice(members, size=max_block, replace=False)
             counter.add(members.size * (members.size - 1) // 2)
             _merge_cluster_block(indices, distances, members, data,
-                                 n_neighbors)
+                                 n_neighbors, engine, norms)
 
         recall = None
         if truth is not None:
@@ -210,7 +237,11 @@ def build_knn_graph_by_clustering(data: np.ndarray, n_neighbors: int, *,
             elapsed_seconds=time.perf_counter() - round_start,
             recall=recall, n_clusters=n_clusters))
 
-    graph = KNNGraph(indices, distances)
+    if outer.metric == "cosine":
+        # Rounds ran on l2-normalised rows where ||a - b||² = 2 (1 - cos);
+        # halve to report genuine cosine distances alongside the indices.
+        distances = distances / 2.0
+    graph = KNNGraph(indices, distances, metric=outer.metric)
     return GraphConstructionResult(graph=graph, history=history,
                                    total_seconds=time.perf_counter() - start,
                                    n_distance_evaluations=counter.count)

@@ -23,13 +23,18 @@ class KNNGraph:
         neighbours of point ``i`` in ascending distance order.  ``-1`` marks a
         missing neighbour (only possible when ``k >= n``).
     distances:
-        ``(n, k)`` float64 matrix of squared Euclidean distances aligned with
-        ``indices`` (``inf`` for missing entries).  Optional — algorithms that
-        only need the adjacency (GK-means) accept graphs without distances.
+        ``(n, k)`` float64 matrix of distances aligned with ``indices``
+        (``inf`` for missing entries).  Optional — algorithms that only need
+        the adjacency (GK-means) accept graphs without distances.
+    metric:
+        The metric the distances were computed under (``"sqeuclidean"``,
+        ``"cosine"`` or ``"dot"``).  Bookkeeping only; note that ``dot``
+        distances (negated inner products) are legitimately negative.
     """
 
     indices: np.ndarray
     distances: np.ndarray | None = None
+    metric: str = "sqeuclidean"
 
     def __post_init__(self) -> None:
         self.indices = check_knn_indices(self.indices, self.indices.shape[0])
@@ -73,7 +78,8 @@ class KNNGraph:
         distances = None
         if self.distances is not None:
             distances = self.distances[:, :n_neighbors].copy()
-        return KNNGraph(self.indices[:, :n_neighbors].copy(), distances)
+        return KNNGraph(self.indices[:, :n_neighbors].copy(), distances,
+                        metric=self.metric)
 
     def symmetrized_adjacency(self) -> list[np.ndarray]:
         """Per-point union of out-neighbours and in-neighbours.
@@ -109,7 +115,9 @@ class KNNGraph:
                 raise GraphError(f"row {point} contains duplicate neighbours")
         if self.distances is not None:
             finite = self.indices >= 0
-            if np.any(self.distances[finite] < 0):
+            # "dot" distances are negated inner products and may legitimately
+            # be negative; the other metrics are non-negative by definition.
+            if self.metric != "dot" and np.any(self.distances[finite] < 0):
                 raise GraphError("graph contains negative distances")
             ordered = np.all(np.diff(self.distances, axis=1) >= -1e-9, axis=1)
             if not np.all(ordered):
@@ -119,7 +127,7 @@ class KNNGraph:
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_heap(cls, heap) -> "KNNGraph":
+    def from_heap(cls, heap, *, metric: str = "sqeuclidean") -> "KNNGraph":
         """Build a graph from a :class:`~repro.graph.neighbor_heap.NeighborHeap`."""
         indices, distances = heap.to_arrays()
-        return cls(indices, distances)
+        return cls(indices, distances, metric=metric)

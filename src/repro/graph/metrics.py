@@ -66,12 +66,17 @@ def graph_recall(graph: KNNGraph, truth: KNNGraph, *,
 
 def estimate_recall_by_sampling(graph: KNNGraph, data: np.ndarray, *,
                                 n_probes: int = 100, n_neighbors: int = 1,
-                                random_state=None) -> float:
+                                random_state=None,
+                                metric: str | None = None) -> float:
     """Estimate recall by exact search on a random subset of points.
 
     This mirrors how the paper evaluates VLAD10M, where exact ground truth for
     the whole corpus is too expensive: "the recall is therefore estimated by
     only considering nearest neighbors of 100 randomly selected samples".
+
+    The exact probes are computed under ``metric``, defaulting to the metric
+    the graph itself was built with, so cosine / inner-product graphs are
+    scored against the right oracle.
     """
     n_probes = check_positive_int(n_probes, name="n_probes",
                                   maximum=graph.n_points)
@@ -81,7 +86,8 @@ def estimate_recall_by_sampling(graph: KNNGraph, data: np.ndarray, *,
     probes = rng.choice(graph.n_points, size=n_probes, replace=False)
 
     exact_idx, _ = brute_force_neighbors(
-        data[probes], data, n_neighbors + 1, exclude_self=False)
+        data[probes], data, n_neighbors + 1, exclude_self=False,
+        metric=graph.metric if metric is None else metric)
     hits = 0.0
     for row, point in enumerate(probes):
         exact = [int(i) for i in exact_idx[row] if int(i) != int(point)]

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..distance import cross_squared_euclidean
+from ..distance import DistanceEngine
 from ..validation import (
     check_data_matrix,
     check_fraction,
@@ -49,6 +49,11 @@ class NNDescent:
         ``early_termination * n * n_neighbors``.
     random_state:
         Seed or generator.
+    metric, dtype:
+        Distance engine configuration — NN-Descent was designed for "generic
+        similarity measures" and here supports ``sqeuclidean``, ``cosine`` and
+        ``dot`` in either float dtype.  Dataset norms are computed once and
+        sliced into every local join.
 
     Attributes
     ----------
@@ -63,12 +68,15 @@ class NNDescent:
     sample_rate: float = 1.0
     early_termination: float = 0.001
     random_state: object = None
+    metric: str = "sqeuclidean"
+    dtype: object = np.float64
     n_updates_: list = field(default_factory=list, init=False, repr=False)
     n_distance_evaluations_: int = field(default=0, init=False, repr=False)
 
     def build(self, data: np.ndarray) -> KNNGraph:
         """Construct the approximate k-NN graph of ``data``."""
-        data = check_data_matrix(data, min_samples=2)
+        engine = DistanceEngine(self.metric, self.dtype)
+        data = check_data_matrix(data, min_samples=2, dtype=engine.dtype)
         n = data.shape[0]
         n_neighbors = check_positive_int(self.n_neighbors, name="n_neighbors",
                                          maximum=n - 1)
@@ -76,6 +84,10 @@ class NNDescent:
                                             name="max_iterations")
         sample_rate = check_fraction(self.sample_rate, name="sample_rate")
         rng = check_random_state(self.random_state)
+
+        # Norms are computed once for the whole dataset and sliced per join.
+        self._engine = engine
+        self._norms = engine.norms(data)
 
         heap = NeighborHeap(n, n_neighbors)
         self._seed_random(heap, data, rng)
@@ -88,8 +100,17 @@ class NNDescent:
             self.n_updates_.append(updates)
             if updates <= threshold:
                 break
-        graph = KNNGraph.from_heap(heap)
+        graph = KNNGraph.from_heap(heap, metric=engine.metric)
         return graph
+
+    def _cross(self, data: np.ndarray, rows: np.ndarray,
+               cols: np.ndarray) -> np.ndarray:
+        """Distances between two index subsets, reusing the dataset norms."""
+        norms = self._norms
+        return self._engine.cross(
+            data[rows], data[cols],
+            a_norms=None if norms is None else norms[rows],
+            b_norms=None if norms is None else norms[cols])
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -102,7 +123,7 @@ class NNDescent:
         for point in range(n):
             draw = rng.choice(n - 1, size=k, replace=False)
             draw[draw >= point] += 1
-            dists = cross_squared_euclidean(data[point][None, :], data[draw])[0]
+            dists = self._cross(data, np.array([point]), draw)[0]
             self.n_distance_evaluations_ += k
             for neighbor, dist in zip(draw, dists):
                 heap.push(point, int(neighbor), float(dist), flag=True)
@@ -159,7 +180,7 @@ class NNDescent:
                 continue
             # new-new pairs
             if new_ids.size > 1:
-                block = cross_squared_euclidean(data[new_ids], data[new_ids])
+                block = self._cross(data, new_ids, new_ids)
                 self.n_distance_evaluations_ += new_ids.size * (new_ids.size - 1) // 2
                 for a in range(new_ids.size):
                     for b in range(a + 1, new_ids.size):
@@ -168,7 +189,7 @@ class NNDescent:
                             float(block[a, b]))
             # new-old pairs
             if old_ids.size:
-                block = cross_squared_euclidean(data[new_ids], data[old_ids])
+                block = self._cross(data, new_ids, old_ids)
                 self.n_distance_evaluations_ += new_ids.size * old_ids.size
                 for a in range(new_ids.size):
                     for b in range(old_ids.size):
@@ -182,8 +203,10 @@ class NNDescent:
 
 def nn_descent_knn_graph(data: np.ndarray, n_neighbors: int, *,
                          max_iterations: int = 10, sample_rate: float = 1.0,
-                         random_state=None) -> KNNGraph:
+                         random_state=None, metric: str = "sqeuclidean",
+                         dtype=np.float64) -> KNNGraph:
     """Convenience wrapper building a graph with :class:`NNDescent`."""
     builder = NNDescent(n_neighbors=n_neighbors, max_iterations=max_iterations,
-                        sample_rate=sample_rate, random_state=random_state)
+                        sample_rate=sample_rate, random_state=random_state,
+                        metric=metric, dtype=dtype)
     return builder.build(data)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..distance import cross_squared_euclidean
+from ..distance import DistanceEngine
 from ..validation import check_data_matrix, check_positive_int, check_random_state
 from .knngraph import KNNGraph
 
@@ -17,7 +17,9 @@ __all__ = ["random_knn_graph"]
 
 
 def random_knn_graph(data: np.ndarray, n_neighbors: int, *, random_state=None,
-                     compute_distances: bool = True) -> KNNGraph:
+                     compute_distances: bool = True,
+                     metric: str = "sqeuclidean", dtype=np.float64,
+                     engine: DistanceEngine | None = None) -> KNNGraph:
     """Graph whose neighbour lists are uniform random samples (no self-loops).
 
     Parameters
@@ -29,12 +31,18 @@ def random_knn_graph(data: np.ndarray, n_neighbors: int, *, random_state=None,
     random_state:
         Seed or generator.
     compute_distances:
-        When true, the true squared distances of the random neighbours are
-        computed and rows sorted by them, so pushes into a
+        When true, the true distances of the random neighbours are computed
+        and rows sorted by them, so pushes into a
         :class:`~repro.graph.neighbor_heap.NeighborHeap` start from a
         consistent state.  When false, distances are left as ``inf``.
+    metric, dtype:
+        Distance engine configuration; ignored when ``engine`` is given.
+    engine:
+        Optional pre-built :class:`~repro.distance.DistanceEngine`.
     """
-    data = check_data_matrix(data, min_samples=2)
+    if engine is None:
+        engine = DistanceEngine(metric, dtype)
+    data = check_data_matrix(data, min_samples=2, dtype=engine.dtype)
     n = data.shape[0]
     n_neighbors = check_positive_int(n_neighbors, name="n_neighbors",
                                      maximum=n - 1)
@@ -50,16 +58,20 @@ def random_knn_graph(data: np.ndarray, n_neighbors: int, *, random_state=None,
 
     if not compute_distances:
         distances = np.full((n, n_neighbors), np.inf, dtype=np.float64)
-        return KNNGraph(indices, distances)
+        return KNNGraph(indices, distances, metric=engine.metric)
 
+    norms = engine.norms(data)
     distances = np.empty((n, n_neighbors), dtype=np.float64)
     block = 2048
     for start in range(0, n, block):
         stop = min(start + block, n)
         for point in range(start, stop):
-            row = cross_squared_euclidean(data[point][None, :],
-                                          data[indices[point]])[0]
+            neighbors = indices[point]
+            row = engine.cross(
+                data[point][None, :], data[neighbors],
+                a_norms=None if norms is None else norms[point:point + 1],
+                b_norms=None if norms is None else norms[neighbors])[0]
             order = np.argsort(row, kind="stable")
-            indices[point] = indices[point][order]
+            indices[point] = neighbors[order]
             distances[point] = row[order]
-    return KNNGraph(indices, distances)
+    return KNNGraph(indices, distances, metric=engine.metric)

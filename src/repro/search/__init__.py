@@ -6,12 +6,13 @@ best-first graph search used for that purpose and the recall/latency
 evaluation protocol.
 """
 
-from .greedy import GraphSearcher, greedy_search
+from .greedy import GraphSearcher, greedy_search, greedy_search_batch
 from .evaluation import SearchEvaluation, evaluate_search
 
 __all__ = [
     "GraphSearcher",
     "greedy_search",
+    "greedy_search_batch",
     "SearchEvaluation",
     "evaluate_search",
 ]

@@ -42,11 +42,18 @@ class SearchEvaluation:
 def evaluate_search(searcher: GraphSearcher, queries: np.ndarray, *,
                     n_results: int = 10, pool_size: int | None = None
                     ) -> SearchEvaluation:
-    """Evaluate a :class:`GraphSearcher` against exact brute-force results."""
+    """Evaluate a :class:`GraphSearcher` against exact brute-force results.
+
+    The brute-force oracle is computed under the searcher's own metric, so
+    cosine / inner-product searchers are scored against the right ground
+    truth.
+    """
     queries = check_data_matrix(queries, name="queries")
     n_results = check_positive_int(n_results, name="n_results")
 
-    exact_idx, _ = brute_force_neighbors(queries, searcher.data, n_results)
+    engine = getattr(searcher, "engine_", None)
+    exact_idx, _ = brute_force_neighbors(queries, searcher.data, n_results,
+                                         engine=engine)
 
     hits_at_1 = 0.0
     hits_at_k = 0.0

@@ -1,0 +1,73 @@
+"""Performance regression guards for the distance engine.
+
+The float32 configuration exists to halve the memory traffic of
+``assign_to_nearest`` — the dominant kernel of the Fig. 6/7 scalability
+benchmarks.  This guard fails if a refactor ever makes the float32 path
+slower than float64 on a realistic block.  Marked ``slow`` so quick loops can
+skip it with ``-m "not slow"``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.distance import DistanceEngine
+
+
+def _best_seconds(function, repeats: int = 5) -> float:
+    """Best-of-N wall-clock time (the robust estimator for throughput)."""
+    best = np.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.slow
+def test_assign_to_nearest_float32_not_slower_than_float64():
+    rng = np.random.default_rng(0)
+    data64 = rng.standard_normal((50_000, 64))
+    centroids64 = rng.standard_normal((128, 64))
+
+    timings = {}
+    results = {}
+    for dtype in (np.float64, np.float32):
+        engine = DistanceEngine("sqeuclidean", dtype)
+        data = engine.prepare(data64)
+        centroids = engine.prepare(centroids64)
+        norms = engine.norms(data)
+
+        def run(engine=engine, data=data, centroids=centroids, norms=norms):
+            return engine.assign_to_nearest(data, centroids,
+                                            data_norms=norms)
+
+        run()  # warm-up (BLAS thread pools, page faults)
+        timings[np.dtype(dtype).name] = _best_seconds(run)
+        results[np.dtype(dtype).name] = run()
+
+    # 1.25 tolerance absorbs scheduler noise; on any BLAS the float32 gemm
+    # plus halved traffic should be comfortably faster, not merely equal.
+    assert timings["float32"] <= timings["float64"] * 1.25, timings
+
+    # while we are here: the cheap kernel must still be the same kernel
+    labels32, _ = results["float32"]
+    labels64, dist64 = results["float64"]
+    assert np.mean(labels32 == labels64) > 0.999
+
+
+@pytest.mark.slow
+def test_cached_norms_not_slower_than_recomputing():
+    """Passing precomputed norms must never lose to recomputing them."""
+    rng = np.random.default_rng(1)
+    engine = DistanceEngine("cosine", np.float32)
+    data = engine.prepare(rng.standard_normal((20_000, 64)))
+    centroids = engine.prepare(rng.standard_normal((256, 64)))
+    norms = engine.norms(data)
+
+    cached = _best_seconds(
+        lambda: engine.assign_to_nearest(data, centroids, data_norms=norms))
+    fresh = _best_seconds(
+        lambda: engine.assign_to_nearest(data, centroids))
+    assert cached <= fresh * 1.25
