@@ -8,15 +8,28 @@ the paper's evaluation section.
 
 Quickstart
 ----------
+Clustering (the paper's GK-means, Alg. 2):
+
 >>> from repro import GKMeans, datasets
 >>> data = datasets.make_sift_like(2000, 32, random_state=0)
 >>> model = GKMeans(n_clusters=50, n_neighbors=10, random_state=0).fit(data)
 >>> model.labels_.shape
 (2000,)
+
+ANN serving through the index facade (build -> search -> save -> load):
+
+>>> from repro import Index
+>>> index = Index.build(data, backend="gkmeans", n_neighbors=10,
+...                     random_state=0)
+>>> ids, dists = index.search(data[:8], n_results=5)   # frontier-merged batch
+>>> ids.shape
+(8, 5)
+>>> index.save("corpus.idx")                           # doctest: +SKIP
+>>> served = Index.load("corpus.idx")                  # doctest: +SKIP
 """
 
 from ._version import __version__
-from . import datasets, distance, graph, cluster, metrics, search
+from . import datasets, distance, graph, cluster, metrics, search, index
 from .distance import DistanceEngine
 from .cluster import (
     BoostKMeans,
@@ -36,6 +49,7 @@ from .graph import (
     nn_descent_knn_graph,
 )
 from .search import GraphSearcher
+from .index import Index, IndexSpec
 from .exceptions import (
     DatasetError,
     GraphError,
@@ -52,6 +66,7 @@ __all__ = [
     "cluster",
     "metrics",
     "search",
+    "index",
     "DistanceEngine",
     "GKMeans",
     "KMeans",
@@ -67,6 +82,8 @@ __all__ = [
     "build_knn_graph_by_clustering",
     "nn_descent_knn_graph",
     "GraphSearcher",
+    "Index",
+    "IndexSpec",
     "ReproError",
     "ValidationError",
     "NotFittedError",

@@ -9,6 +9,11 @@ Run the Fig. 2 graph-evolution experiment at the small preset::
 Partition a SIFT-like stand-in into 100 clusters and print a summary::
 
     python -m repro cluster --dataset sift1m --n-samples 5000 --k 100
+
+Build a persistent ANN index and serve queries from it::
+
+    python -m repro build --dataset sift1m --n-samples 5000 --out corpus.idx
+    python -m repro search corpus.idx --n-queries 100 --k 10
 """
 
 from __future__ import annotations
@@ -16,12 +21,16 @@ from __future__ import annotations
 import argparse
 import sys
 
+import numpy as np
+
 from . import experiments
 from .datasets import list_datasets, load_dataset
 from .distance import METRICS
 from .experiments import render_series, render_table
 from .experiments.config import DEFAULT, LARGE, SMALL, ExperimentScale
 from .experiments.runner import available_methods, run_method
+from .index import Index, IndexSpec, available_backends
+from .search import evaluate_search
 
 __all__ = ["main", "build_parser"]
 
@@ -40,7 +49,7 @@ _EXPERIMENTS = {
 
 #: Experiments whose drivers currently thread ``scale.metric``/``scale.dtype``
 #: through clustering, graph construction and search.
-_METRIC_AWARE_EXPERIMENTS = {"anns"}
+_METRIC_AWARE_EXPERIMENTS = {"anns", "fig2"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,8 +98,103 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=0)
     add_engine_options(cluster)
 
+    build = sub.add_parser(
+        "build", help="build an ANN index and save it to an NPZ file")
+    build.add_argument("--out", required=True,
+                       help="path the index NPZ is written to")
+    build.add_argument("--dataset", choices=list_datasets(),
+                       default="sift1m")
+    build.add_argument("--n-samples", type=int, default=5000)
+    build.add_argument("--n-features", type=int, default=32)
+    build.add_argument("--backend", choices=available_backends(),
+                       default="gkmeans")
+    build.add_argument("--n-neighbors", type=int, default=16)
+    build.add_argument("--pool-size", type=int, default=32)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--tau", type=int, default=None,
+                       help="gkmeans backend: construction rounds")
+    build.add_argument("--cluster-size", type=int, default=None,
+                       help="gkmeans backend: target cluster size xi")
+    build.add_argument("--max-iterations", type=int, default=None,
+                       help="nndescent backend: local-join rounds")
+    add_engine_options(build)
+
+    search = sub.add_parser(
+        "search", help="serve queries from a saved ANN index")
+    search.add_argument("index", help="path of an index saved by 'build'")
+    search.add_argument("--queries", default=None,
+                        help=".npy file of query vectors; when omitted, "
+                             "--n-queries rows of the indexed data are used")
+    search.add_argument("--n-queries", type=int, default=100)
+    search.add_argument("--k", type=int, default=10)
+    search.add_argument("--pool-size", type=int, default=None)
+    search.add_argument("--seed", type=int, default=0)
+
     sub.add_parser("list", help="list datasets, methods and experiments")
     return parser
+
+
+def _build_params(args) -> dict:
+    """Collect the backend-specific knobs that were actually given.
+
+    Every provided knob is passed through; ``IndexSpec`` rejects params the
+    chosen backend does not accept, so e.g. ``--backend nndescent --tau 4``
+    fails loudly instead of silently ignoring ``--tau``.
+    """
+    params = {}
+    for key in ("tau", "cluster_size", "max_iterations"):
+        value = getattr(args, key)
+        if value is not None:
+            params[key] = value
+    return params
+
+
+def _run_build(args) -> int:
+    data = load_dataset(args.dataset, args.n_samples, args.n_features,
+                        random_state=args.seed)
+    spec = IndexSpec(backend=args.backend, n_neighbors=args.n_neighbors,
+                     metric=args.metric, dtype=args.dtype,
+                     pool_size=args.pool_size, random_state=args.seed,
+                     params=_build_params(args))
+    index = Index.build(data, spec)
+    index.save(args.out)
+    print(render_table([{
+        "backend": args.backend,
+        "dataset": args.dataset,
+        "n": index.n_points,
+        "d": index.n_features,
+        "kappa": index.graph.n_neighbors,
+        "metric": index.metric,
+        "dtype": index.spec.dtype,
+        "build_seconds": index.build_seconds,
+        "out": args.out,
+    }]))
+    return 0
+
+
+def _run_search(args) -> int:
+    index = Index.load(args.index)
+    if args.queries is not None:
+        queries = np.load(args.queries)
+        source = args.queries
+    else:
+        n_queries = min(args.n_queries, index.n_points)
+        rng = np.random.default_rng(args.seed)
+        rows = rng.choice(index.n_points, size=n_queries, replace=False)
+        queries = index.data[rows]
+        source = f"{n_queries} indexed rows (self-queries)"
+    evaluation = evaluate_search(index, queries, n_results=args.k,
+                                 pool_size=args.pool_size)
+    print(f"index:   {index!r}")
+    print(f"queries: {source}")
+    print(render_table([{
+        "k": args.k,
+        "recall@1": evaluation.recall_at_1,
+        f"recall@{args.k}": evaluation.recall_at_k,
+        "query_ms": evaluation.mean_query_seconds * 1000.0,
+        "distance_evals": evaluation.mean_distance_evaluations,
+    }]))
+    return 0
 
 
 def _resolve_scale(args) -> ExperimentScale:
@@ -132,7 +236,14 @@ def main(argv: list[str] | None = None) -> int:
         print("datasets:   " + ", ".join(list_datasets()))
         print("methods:    " + ", ".join(available_methods()))
         print("experiments:" + " " + ", ".join(sorted(_EXPERIMENTS)))
+        print("backends:   " + ", ".join(available_backends()))
         return 0
+
+    if args.command == "build":
+        return _run_build(args)
+
+    if args.command == "search":
+        return _run_search(args)
 
     if args.command == "cluster":
         data = load_dataset(args.dataset, args.n_samples, args.n_features,

@@ -25,10 +25,12 @@ def run(scale: ExperimentScale = DEFAULT, *, tau: int | None = None) -> dict:
     tau = scale.graph_tau if tau is None else tau
     data = make_sift_like(scale.n_samples, scale.n_features,
                           random_state=scale.random_state)
-    truth = brute_force_knn_graph(data, scale.n_neighbors)
+    truth = brute_force_knn_graph(data, scale.n_neighbors,
+                                  metric=scale.metric, dtype=scale.dtype)
     result = build_knn_graph_by_clustering(
         data, scale.n_neighbors, tau=tau, cluster_size=scale.cluster_size,
-        truth=truth, random_state=scale.random_state)
+        truth=truth, random_state=scale.random_state,
+        metric=scale.metric, dtype=scale.dtype)
 
     taus, recalls = result.recall_curve()
     _, distortions = result.distortion_curve()
@@ -45,5 +47,7 @@ def run(scale: ExperimentScale = DEFAULT, *, tau: int | None = None) -> dict:
             "n_neighbors": scale.n_neighbors,
             "cluster_size": scale.cluster_size,
             "tau": tau,
+            "metric": scale.metric,
+            "dtype": scale.dtype,
         },
     }

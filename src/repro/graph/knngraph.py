@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..distance import resolve_metric
 from ..exceptions import GraphError
 from ..validation import check_knn_indices
 
@@ -38,6 +39,9 @@ class KNNGraph:
 
     def __post_init__(self) -> None:
         self.indices = check_knn_indices(self.indices, self.indices.shape[0])
+        # Canonicalise eagerly so every downstream metric comparison (searcher
+        # guards, persistence, truncation) sees one spelling per metric.
+        self.metric = resolve_metric(self.metric)
         if self.distances is not None:
             self.distances = np.asarray(self.distances, dtype=np.float64)
             if self.distances.shape != self.indices.shape:
@@ -127,7 +131,21 @@ class KNNGraph:
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_heap(cls, heap, *, metric: str = "sqeuclidean") -> "KNNGraph":
-        """Build a graph from a :class:`~repro.graph.neighbor_heap.NeighborHeap`."""
+    def from_heap(cls, heap, *, metric: str | None = None) -> "KNNGraph":
+        """Build a graph from a :class:`~repro.graph.neighbor_heap.NeighborHeap`.
+
+        The metric defaults to the one the heap's distances were pushed under
+        (``heap.metric``), so a heap built for cosine or inner-product work
+        cannot silently produce a ``sqeuclidean``-labelled graph.  An explicit
+        ``metric`` is accepted only when it agrees with the heap's.
+        """
+        heap_metric = getattr(heap, "metric", None)
+        if metric is None:
+            metric = "sqeuclidean" if heap_metric is None else heap_metric
+        elif heap_metric is not None and \
+                resolve_metric(metric) != resolve_metric(heap_metric):
+            raise GraphError(
+                f"heap distances were computed under metric {heap_metric!r} "
+                f"but from_heap was asked to label the graph {metric!r}")
         indices, distances = heap.to_arrays()
         return cls(indices, distances, metric=metric)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..distance import resolve_metric
 from ..exceptions import GraphError
 from ..validation import check_positive_int
 
@@ -29,6 +30,10 @@ class NeighborHeap:
         Number of points in the dataset.
     n_neighbors:
         Capacity ``k`` of every neighbour list.
+    metric:
+        Metric the pushed distances are computed under.  Bookkeeping only, but
+        it travels into :meth:`~repro.graph.knngraph.KNNGraph.from_heap` so
+        graphs extracted from the heap keep the right label.
 
     Notes
     -----
@@ -36,9 +41,11 @@ class NeighborHeap:
     and distance ``+inf``.  Duplicate (point, neighbour) pairs are ignored.
     """
 
-    def __init__(self, n_points: int, n_neighbors: int) -> None:
+    def __init__(self, n_points: int, n_neighbors: int, *,
+                 metric: str = "sqeuclidean") -> None:
         self.n_points = check_positive_int(n_points, name="n_points")
         self.n_neighbors = check_positive_int(n_neighbors, name="n_neighbors")
+        self.metric = resolve_metric(metric)
         self.indices = np.full((n_points, n_neighbors), -1, dtype=np.int64)
         self.distances = np.full((n_points, n_neighbors), np.inf,
                                  dtype=np.float64)

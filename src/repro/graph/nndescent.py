@@ -89,7 +89,7 @@ class NNDescent:
         self._engine = engine
         self._norms = engine.norms(data)
 
-        heap = NeighborHeap(n, n_neighbors)
+        heap = NeighborHeap(n, n_neighbors, metric=engine.metric)
         self._seed_random(heap, data, rng)
         self.n_updates_ = []
         self.n_distance_evaluations_ = 0
@@ -100,7 +100,7 @@ class NNDescent:
             self.n_updates_.append(updates)
             if updates <= threshold:
                 break
-        graph = KNNGraph.from_heap(heap, metric=engine.metric)
+        graph = KNNGraph.from_heap(heap)
         return graph
 
     def _cross(self, data: np.ndarray, rows: np.ndarray,

@@ -1,0 +1,36 @@
+"""Unified index facade: build / search / persist an ANN index in one API.
+
+The five layers a user previously had to hand-wire — clustering, graph
+construction, the :class:`~repro.graph.knngraph.KNNGraph` container, greedy
+search and evaluation — collapse into::
+
+    from repro.index import Index
+
+    index = Index.build(data, backend="gkmeans", n_neighbors=16)
+    ids, dists = index.search(queries, n_results=10)   # frontier-merged batch
+    index.save("corpus.idx")
+    served = Index.load("corpus.idx")                  # zero rebuild
+
+See :class:`~repro.index.spec.IndexSpec` for the full recipe surface and
+:func:`~repro.index.spec.register_builder` for adding construction backends.
+"""
+
+from .spec import (
+    BUILDERS,
+    BuilderEntry,
+    IndexSpec,
+    available_backends,
+    register_builder,
+)
+from . import backends as _backends  # noqa: F401  (populates BUILDERS)
+from .facade import FORMAT_VERSION, Index
+
+__all__ = [
+    "Index",
+    "IndexSpec",
+    "BUILDERS",
+    "BuilderEntry",
+    "available_backends",
+    "register_builder",
+    "FORMAT_VERSION",
+]

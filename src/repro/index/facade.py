@@ -1,0 +1,284 @@
+"""The ``Index`` facade: build / search / persist in one object.
+
+§4.3 of the paper observes that the Alg. 3 graph is good enough to serve ANN
+queries directly — this module packages that observation as a library-level
+API.  ``Index.build`` runs the construction backend named by an
+:class:`~repro.index.spec.IndexSpec`, ``index.search`` serves single queries
+(sequential greedy walk) and 2-D query batches (frontier-merged walk — one
+gemm per round across all live queries), and ``index.save`` /
+``Index.load`` round-trip the whole serving state — spec, graph, data and
+cached norms — through a single NPZ file, so a loaded index answers queries
+bit-for-bit identically with zero rebuild.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import zipfile
+
+import numpy as np
+
+from ..distance import DistanceEngine
+from ..exceptions import GraphError, ValidationError
+from ..graph.knngraph import KNNGraph
+from ..search.greedy import GraphSearcher
+from ..validation import (
+    check_data_matrix,
+    check_positive_int,
+    check_random_state,
+)
+from .spec import BUILDERS, IndexSpec
+
+__all__ = ["Index", "FORMAT_VERSION"]
+
+#: Version of the NPZ persistence layout.
+FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = ("format_version", "spec_json", "data", "graph_indices",
+                  "graph_metric")
+
+
+class Index:
+    """A built ANN index: data + k-NN graph + spec, ready to serve queries.
+
+    Construct with :meth:`build` (runs a registered construction backend) or
+    :meth:`load` (restores a saved index); the raw constructor accepts a
+    pre-built graph for advanced use.
+
+    Searches are deterministic: every :meth:`search` call seeds its
+    entry-point sampling from ``spec.random_state``, so the same query set
+    always returns the same neighbours — including after a save/load
+    round-trip.
+
+    Attributes
+    ----------
+    data:
+        ``(n, d)`` indexed vectors, in the spec's dtype.
+    graph:
+        The construction backend's :class:`~repro.graph.knngraph.KNNGraph`.
+    spec:
+        The :class:`~repro.index.spec.IndexSpec` the index was built under.
+    build_seconds:
+        Wall-clock construction time (``None`` for loaded indexes).
+    last_n_evaluations, last_per_query_evaluations:
+        Total and ``(m,)`` per-query distance-evaluation counts of the most
+        recent :meth:`search` call (batched gemms charged per query).
+    """
+
+    def __init__(self, data: np.ndarray, graph: KNNGraph, spec: IndexSpec, *,
+                 norms: np.ndarray | None = None,
+                 build_seconds: float | None = None) -> None:
+        if not isinstance(spec, IndexSpec):
+            raise ValidationError(
+                f"spec must be an IndexSpec, got {type(spec).__name__}")
+        self.spec = spec
+        # All validation (data matrix, graph/data row counts, graph-vs-spec
+        # metric, restored-norms shape) and state (engine, cached norms,
+        # symmetrised adjacency) lives in the composed searcher; the facade
+        # adds spec handling, determinism and persistence on top.
+        self._searcher = GraphSearcher(
+            data, graph, pool_size=spec.pool_size, n_starts=spec.n_starts,
+            seed_sample=spec.seed_sample, symmetrize=spec.symmetrize,
+            random_state=spec.random_state, metric=spec.metric,
+            dtype=spec.dtype, data_norms=norms)
+        self.graph = graph
+        self.build_seconds = build_seconds
+
+    @property
+    def last_n_evaluations(self) -> int:
+        """Total distance evaluations of the most recent search call."""
+        return self._searcher.last_n_evaluations
+
+    @property
+    def last_per_query_evaluations(self) -> np.ndarray | None:
+        """``(m,)`` per-query evaluation counts of the most recent search."""
+        return self._searcher.last_per_query_evaluations
+
+    @property
+    def data(self) -> np.ndarray:
+        """``(n, d)`` indexed vectors, in the spec's dtype."""
+        return self._searcher.data
+
+    @property
+    def engine_(self) -> DistanceEngine:
+        """The index's :class:`~repro.distance.DistanceEngine`."""
+        return self._searcher.engine_
+
+    @property
+    def _data_norms(self) -> np.ndarray | None:
+        return self._searcher._data_norms
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_points(self) -> int:
+        """Number of indexed vectors."""
+        return int(self.data.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the indexed vectors."""
+        return int(self.data.shape[1])
+
+    @property
+    def metric(self) -> str:
+        """Canonical metric name the index scores queries under."""
+        return self.engine_.metric
+
+    def __len__(self) -> int:
+        return self.n_points
+
+    def __repr__(self) -> str:
+        return (f"Index(backend={self.spec.backend!r}, n={self.n_points}, "
+                f"d={self.n_features}, kappa={self.graph.n_neighbors}, "
+                f"metric={self.metric!r}, dtype={self.spec.dtype!r})")
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, data: np.ndarray, spec: IndexSpec | None = None,
+              **overrides) -> "Index":
+        """Build an index over ``data`` from a spec.
+
+        ``overrides`` are :class:`~repro.index.spec.IndexSpec` fields applied
+        on top of ``spec`` (or of the default spec when ``spec`` is omitted),
+        so the common cases read naturally::
+
+            Index.build(data)                                   # defaults
+            Index.build(data, backend="nndescent", metric="cosine")
+            Index.build(data, spec)                             # explicit spec
+        """
+        if spec is None:
+            spec = IndexSpec(**overrides)
+        elif overrides:
+            spec = spec.replace(**overrides)
+        engine = DistanceEngine(spec.metric, spec.dtype)
+        data = check_data_matrix(data, min_samples=2, dtype=engine.dtype)
+        check_positive_int(spec.n_neighbors, name="n_neighbors",
+                           maximum=data.shape[0] - 1)
+        started = time.perf_counter()
+        graph = BUILDERS[spec.backend].build(data, spec)
+        elapsed = time.perf_counter() - started
+        return cls(data, graph, spec, build_seconds=elapsed)
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def search(self, queries: np.ndarray, n_results: int = 10, *,
+               pool_size: int | None = None, strategy: str | None = None,
+               random_state=None) -> tuple[np.ndarray, np.ndarray]:
+        """Serve one query or a batch of queries.
+
+        Parameters
+        ----------
+        queries:
+            A ``(d,)`` vector (returns ``(n_results,)`` arrays) or an
+            ``(m, d)`` matrix (returns ``(m, n_results)`` arrays, padded with
+            ``-1``/``inf`` where fewer points are reachable).
+        n_results:
+            Number of neighbours per query.
+        pool_size:
+            Candidate-pool override (defaults to ``spec.pool_size``).
+        strategy:
+            Batch walk selection — ``"frontier"`` (default: one gemm per
+            round across all live queries) or ``"perquery"`` (the sequential
+            oracle).  Ignored for single queries.
+        random_state:
+            Entry-point seed override; defaults to ``spec.random_state``, so
+            repeated calls are deterministic.
+
+        Returns
+        -------
+        (indices, distances):
+            Neighbour ids and distances, sorted by ascending distance.
+        """
+        rng = check_random_state(self.spec.random_state
+                                 if random_state is None else random_state)
+        if np.asarray(queries).ndim == 1:
+            return self._searcher.query(queries, n_results,
+                                        pool_size=pool_size, rng=rng)
+        return self._searcher.batch_query(
+            queries, n_results, pool_size=pool_size,
+            strategy="frontier" if strategy is None else strategy, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Serialize the index (spec, graph, data, norms) into one NPZ file.
+
+        The file is written at exactly ``path`` (no ``.npz`` suffix is
+        appended) and restored by :meth:`load` with zero rebuild.  The write
+        is atomic — a temp file in the same directory is renamed over the
+        target — so a crash mid-save never clobbers a previously good index.
+        """
+        payload = {
+            "format_version": np.int64(FORMAT_VERSION),
+            "spec_json": np.asarray(self.spec.to_json()),
+            "data": self.data,
+            "graph_indices": self.graph.indices,
+            "graph_metric": np.asarray(self.graph.metric),
+        }
+        if self.graph.distances is not None:
+            payload["graph_distances"] = self.graph.distances
+        if self._data_norms is not None:
+            payload["norms"] = self._data_norms
+        path = os.fspath(path)
+        handle, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path) or ".", suffix=".idx.tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                np.savez(stream, **payload)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    @classmethod
+    def load(cls, path) -> "Index":
+        """Restore an index saved by :meth:`save`.
+
+        Raises :class:`~repro.exceptions.ValidationError` when the file is
+        missing keys, carries an unknown format version, or is otherwise not
+        a valid index file.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                missing = [key for key in _REQUIRED_KEYS
+                           if key not in archive.files]
+                if missing:
+                    raise ValidationError(
+                        f"index file {path!r} is missing keys {missing}")
+                version = int(archive["format_version"])
+                if version != FORMAT_VERSION:
+                    raise ValidationError(
+                        f"index file {path!r} has format version {version}, "
+                        f"this build reads version {FORMAT_VERSION}")
+                spec = IndexSpec.from_json(str(archive["spec_json"]))
+                data = archive["data"]
+                graph_indices = archive["graph_indices"]
+                graph_metric = str(archive["graph_metric"])
+                graph_distances = (archive["graph_distances"]
+                                   if "graph_distances" in archive.files
+                                   else None)
+                norms = (archive["norms"] if "norms" in archive.files
+                         else None)
+        except ValidationError:
+            raise
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile, json.JSONDecodeError) as exc:
+            raise ValidationError(
+                f"cannot read index file {path!r}: {exc}") from exc
+        try:
+            graph = KNNGraph(graph_indices, graph_distances,
+                             metric=graph_metric)
+            return cls(data, graph, spec, norms=norms)
+        except (GraphError, ValidationError) as exc:
+            raise ValidationError(
+                f"index file {path!r} is inconsistent: {exc}") from exc

@@ -1,0 +1,215 @@
+"""Declarative index specification and the construction-backend registry.
+
+An :class:`IndexSpec` captures *everything* needed to rebuild or re-serve an
+index — which graph-construction backend to run, the graph width κ, the
+metric/dtype of all distance work, the greedy-search defaults and the seed —
+in one JSON-serializable value.  The spec travels with the index into its
+saved NPZ file, so a loaded index answers queries exactly like the process
+that built it.
+
+Backends are registered in a small table (:data:`BUILDERS`) mapping a name to
+the graph-construction callable and the backend-specific parameters it
+accepts, in the spirit of the method registries of KGraph/EFANNA-style ANN
+libraries.  Adding a construction algorithm is one :func:`register_builder`
+call — the facade, CLI and persistence pick it up automatically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..distance import METRICS, resolve_dtype, resolve_metric
+from ..exceptions import ValidationError
+from ..validation import check_positive_int
+
+__all__ = ["IndexSpec", "BuilderEntry", "BUILDERS", "register_builder",
+           "available_backends"]
+
+
+@dataclass(frozen=True)
+class BuilderEntry:
+    """One row of the backend registry.
+
+    Attributes
+    ----------
+    build:
+        ``build(data, spec) -> KNNGraph`` callable.
+    params:
+        Names of the backend-specific keys ``IndexSpec.params`` may carry.
+    metrics:
+        Metrics the backend supports (Alg. 3 is a clustering, so it needs the
+        k-means geometry and excludes ``dot``).
+    description:
+        One-line summary for CLI help and ``repr``.
+    """
+
+    build: Callable
+    params: frozenset
+    metrics: tuple
+    description: str
+
+
+#: Registered construction backends, keyed by name.
+BUILDERS: dict[str, BuilderEntry] = {}
+
+
+def register_builder(name: str, *, params=(), metrics=METRICS,
+                     description: str = "") -> Callable:
+    """Register ``func`` as the construction backend ``name`` (decorator)."""
+
+    def decorator(func: Callable) -> Callable:
+        BUILDERS[name] = BuilderEntry(
+            build=func, params=frozenset(params), metrics=tuple(metrics),
+            description=description)
+        return func
+
+    return decorator
+
+
+def available_backends() -> list[str]:
+    """Sorted names of the registered construction backends."""
+    return sorted(BUILDERS)
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Recipe for building and serving one ANN index.
+
+    Attributes
+    ----------
+    backend:
+        Name of the graph-construction backend (see
+        :func:`available_backends`): ``"gkmeans"`` (the paper's Alg. 3),
+        ``"nndescent"``, ``"bruteforce"`` or ``"random"``.
+    n_neighbors:
+        Graph width κ.
+    metric, dtype:
+        Distance-engine configuration shared by construction and search.
+    pool_size, n_starts, seed_sample:
+        Greedy-search defaults (candidate pool / entry points / entry-point
+        sample size; ``seed_sample=None`` uses the search module's default).
+        The facade default is generous (256) because deterministic searches
+        reuse one entry sample for *every* query — a small sample's blind
+        spots would then fail the same queries systematically, and the sample
+        is scored in a single shared gemm anyway.
+    symmetrize:
+        Whether search adds reverse edges to the adjacency (recommended).
+    random_state:
+        Seed for construction *and* for every search call — searches are
+        deterministic and reproducible across save/load.
+    params:
+        Backend-specific construction knobs, e.g. ``{"tau": 8,
+        "cluster_size": 50}`` for ``gkmeans`` or ``{"max_iterations": 10}``
+        for ``nndescent``.  Keys are validated against the backend registry.
+    """
+
+    backend: str = "gkmeans"
+    n_neighbors: int = 16
+    metric: str = "sqeuclidean"
+    dtype: str = "float64"
+    pool_size: int = 32
+    n_starts: int = 4
+    seed_sample: int | None = 256
+    symmetrize: bool = True
+    random_state: int = 0
+    params: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BUILDERS:
+            raise ValidationError(
+                f"unknown index backend {self.backend!r}; expected one of "
+                f"{available_backends()}")
+        entry = BUILDERS[self.backend]
+        object.__setattr__(self, "metric", resolve_metric(self.metric))
+        object.__setattr__(self, "dtype",
+                           np.dtype(resolve_dtype(self.dtype)).name)
+        if self.metric not in entry.metrics:
+            raise ValidationError(
+                f"backend {self.backend!r} does not support metric "
+                f"{self.metric!r} (supported: {sorted(entry.metrics)})")
+        # Keep the coerced plain ints — numpy scalars would survive
+        # validation but break the JSON persistence of to_json().
+        object.__setattr__(self, "n_neighbors", check_positive_int(
+            self.n_neighbors, name="n_neighbors"))
+        object.__setattr__(self, "pool_size", check_positive_int(
+            self.pool_size, name="pool_size"))
+        object.__setattr__(self, "n_starts", check_positive_int(
+            self.n_starts, name="n_starts"))
+        if self.seed_sample is not None:
+            object.__setattr__(self, "seed_sample", check_positive_int(
+                self.seed_sample, name="seed_sample"))
+        if not isinstance(self.random_state, (int, np.integer)) or \
+                isinstance(self.random_state, bool):
+            raise ValidationError(
+                "IndexSpec.random_state must be an integer seed (it is "
+                f"serialized with the index), got {self.random_state!r}")
+        object.__setattr__(self, "random_state", int(self.random_state))
+        params = {key: value.item() if isinstance(value, np.generic)
+                  else value for key, value in dict(self.params).items()}
+        unknown = set(params) - set(entry.params)
+        if unknown:
+            raise ValidationError(
+                f"backend {self.backend!r} does not accept params "
+                f"{sorted(unknown)} (accepted: {sorted(entry.params)})")
+        try:
+            json.dumps(params)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(
+                "IndexSpec.params values must be JSON-serializable (the "
+                f"spec is persisted with the index): {exc}") from exc
+        object.__setattr__(self, "params", params)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-dict form used for NPZ persistence (JSON-compatible)."""
+        return {
+            "backend": self.backend,
+            "n_neighbors": self.n_neighbors,
+            "metric": self.metric,
+            "dtype": self.dtype,
+            "pool_size": self.pool_size,
+            "n_starts": self.n_starts,
+            "seed_sample": self.seed_sample,
+            "symmetrize": self.symmetrize,
+            "random_state": self.random_state,
+            "params": dict(self.params),
+        }
+
+    def to_json(self) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "IndexSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are a validation error."""
+        if not isinstance(payload, Mapping):
+            raise ValidationError(
+                f"index spec must be a mapping, got {type(payload).__name__}")
+        known = {"backend", "n_neighbors", "metric", "dtype", "pool_size",
+                 "n_starts", "seed_sample", "symmetrize", "random_state",
+                 "params"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValidationError(
+                f"index spec carries unknown keys {sorted(unknown)}")
+        return cls(**dict(payload))
+
+    @classmethod
+    def from_json(cls, text: str) -> "IndexSpec":
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except (TypeError, json.JSONDecodeError) as exc:
+            raise ValidationError(
+                f"index spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def replace(self, **overrides) -> "IndexSpec":
+        """Copy of this spec with the given fields replaced (re-validated)."""
+        return replace(self, **overrides)

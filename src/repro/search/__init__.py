@@ -6,6 +6,7 @@ best-first graph search used for that purpose and the recall/latency
 evaluation protocol.
 """
 
+from .frontier import frontier_batch_search
 from .greedy import GraphSearcher, greedy_search, greedy_search_batch
 from .evaluation import SearchEvaluation, evaluate_search
 
@@ -13,6 +14,7 @@ __all__ = [
     "GraphSearcher",
     "greedy_search",
     "greedy_search_batch",
+    "frontier_batch_search",
     "SearchEvaluation",
     "evaluate_search",
 ]

@@ -1,0 +1,61 @@
+"""Shared entry-point seeding for the greedy-search family.
+
+The sequential walk (:func:`~repro.search.greedy.greedy_search`), the
+per-query batch walk (:func:`~repro.search.greedy.greedy_search_batch`) and
+the frontier-merged walk (:func:`~repro.search.frontier.frontier_batch_search`)
+must draw the same entry-point sample and seed their best-first state
+identically for the parity and determinism guarantees to hold.  This module
+is the single copy of that logic.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..distance import DistanceEngine
+
+__all__ = ["seed_entry_points", "seed_heaps"]
+
+
+def seed_entry_points(data: np.ndarray, queries: np.ndarray, n_starts: int,
+                      seed_sample: int | None, rng: np.random.Generator,
+                      engine: DistanceEngine,
+                      data_norms: np.ndarray | None
+                      ) -> tuple[np.ndarray, np.ndarray,
+                                 np.ndarray | None, int]:
+    """Draw one entry-point sample and score it for all queries in one gemm.
+
+    Returns ``(sample, seed_block, query_norms, n_starts)`` where
+    ``seed_block`` is the ``(m, |sample|)`` distance block and ``n_starts``
+    is clamped to the dataset size.  ``seed_sample=None`` uses the family
+    default ``max(32, 8 * n_starts)``.
+    """
+    n = data.shape[0]
+    if seed_sample is None:
+        seed_sample = max(32, 8 * n_starts)
+    query_norms = engine.norms(queries)
+    sample = rng.choice(n, size=min(seed_sample, n), replace=False)
+    seed_block = engine.cross(
+        queries, data[sample],
+        a_norms=query_norms,
+        b_norms=None if data_norms is None else data_norms[sample])
+    return sample, seed_block, query_norms, min(n_starts, n)
+
+
+def seed_heaps(starts: np.ndarray, start_dists: np.ndarray, pool_size: int
+               ) -> tuple[list, list, set]:
+    """Initial best-first state from scored entry points.
+
+    Returns ``(candidates, pool, visited)``: the candidate min-heap, the
+    bounded result max-heap (negated distances) and the visited-id set.
+    """
+    candidates = [(float(d), int(s)) for d, s in zip(start_dists, starts)]
+    heapq.heapify(candidates)
+    pool = [(-float(d), int(s)) for d, s in zip(start_dists, starts)]
+    heapq.heapify(pool)
+    while len(pool) > pool_size:
+        heapq.heappop(pool)
+    visited = set(int(s) for s in starts)
+    return candidates, pool, visited

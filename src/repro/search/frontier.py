@@ -1,0 +1,173 @@
+"""Frontier-merged multi-query greedy search.
+
+Per-query greedy graph search spends one tiny gemm per node expansion —
+``(1, d) @ (d, |neighbours|)`` — so with many queries in flight BLAS never
+reaches its blocked regime and the Python loop around it runs once per
+expansion *per query*.  The frontier-merged walk keeps every query's
+best-first state (candidate heap, bounded result pool, visited set)
+independent but synchronises the *scoring*: each round pops, for every live
+query, the closest unexpanded candidate, gathers the union of their unvisited
+graph neighbours, and scores that merged frontier against all live queries in
+a single :class:`~repro.distance.DistanceEngine` gemm.
+
+A query's trajectory through the graph is identical to the sequential walk of
+:func:`~repro.search.greedy.greedy_search` — same expansion order, same pool
+updates, same termination rule — only the shape of the distance computation
+changes, so per-query search remains the semantic oracle that
+``frontier_batch_search`` is parity-tested against.
+
+Because different queries' frontiers are mostly disjoint, the merged gemm
+computes ``|live| × |union|`` distances per round and the waste grows with
+the batch: for large batches the walk is therefore run over bounded *groups*
+of queries (``max_group``, empirically ~32), one gemm per round per group.
+The entry-point sample is still drawn and scored once for the whole batch, so
+grouping changes neither the results nor their dependence on the seed.
+
+Cost accounting: every query is charged the full entry-point sample it was
+scored against plus the neighbours scored for its own walk — exactly the
+counts of the sequential oracle, so the returned per-query numbers are
+comparable across strategies and include each query's share of the batched
+entry-point gemm.  The merged gemm additionally computes row/column
+combinations no query asked for; that slack is a batching trade-off bounded
+by ``max_group`` and is *not* billed to individual queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..distance import DistanceEngine
+from ._seeding import seed_entry_points, seed_heaps
+
+__all__ = ["frontier_batch_search"]
+
+
+def _run_rounds(rows: np.ndarray, data: np.ndarray,
+                adjacency: list[np.ndarray], queries: np.ndarray,
+                candidates: list[list], pools: list[list],
+                visited: list[set], evaluations: np.ndarray,
+                pool_size: int, engine: DistanceEngine,
+                data_norms: np.ndarray | None,
+                query_norms: np.ndarray | None) -> None:
+    """Walk one group of queries to completion, one gemm per round."""
+    live = dict.fromkeys(int(r) for r in rows)
+    while live:
+        # Pop each live query's next expandable candidate (skipping fully
+        # visited ones, terminating queries whose best candidate can no
+        # longer improve a full pool — the sequential walk's exact rule).
+        frontiers: dict[int, list[int]] = {}
+        for row in list(live):
+            cand, pool, seen = candidates[row], pools[row], visited[row]
+            neighbors: list[int] | None = None
+            while cand:
+                dist, node = heapq.heappop(cand)
+                worst = -pool[0][0] if pool else np.inf
+                if dist > worst and len(pool) >= pool_size:
+                    cand.clear()
+                    break
+                unvisited = [int(v) for v in adjacency[node]
+                             if int(v) not in seen]
+                if unvisited:
+                    seen.update(unvisited)
+                    neighbors = unvisited
+                    break
+            if neighbors is None:
+                del live[row]
+            else:
+                frontiers[row] = neighbors
+        if not frontiers:
+            break
+
+        # One gemm scores the merged frontier against every live query.
+        union = np.unique(np.concatenate(
+            [np.asarray(f, dtype=np.int64) for f in frontiers.values()]))
+        column = {int(node): col for col, node in enumerate(union)}
+        gemm_rows = np.fromiter(frontiers.keys(), dtype=np.int64)
+        block = engine.cross(
+            queries[gemm_rows], data[union],
+            a_norms=None if query_norms is None else query_norms[gemm_rows],
+            b_norms=None if data_norms is None else data_norms[union])
+
+        for block_row, row in enumerate(gemm_rows):
+            evaluations[row] += len(frontiers[int(row)])
+            pool, cand = pools[row], candidates[row]
+            for neighbor in frontiers[int(row)]:
+                neighbor_dist = block[block_row, column[neighbor]]
+                worst = -pool[0][0] if pool else np.inf
+                if len(pool) < pool_size or neighbor_dist < worst:
+                    heapq.heappush(pool, (-float(neighbor_dist), neighbor))
+                    if len(pool) > pool_size:
+                        heapq.heappop(pool)
+                    heapq.heappush(cand, (float(neighbor_dist), neighbor))
+
+
+def frontier_batch_search(data: np.ndarray, adjacency: list[np.ndarray],
+                          queries: np.ndarray, n_results: int, *,
+                          pool_size: int = 32, n_starts: int = 4,
+                          seed_sample: int | None = None,
+                          max_group: int | None = 32,
+                          rng: np.random.Generator | None = None,
+                          engine: DistanceEngine | None = None,
+                          data_norms: np.ndarray | None = None
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Multi-query greedy search scoring merged frontiers in one gemm per round.
+
+    Parameters match :func:`~repro.search.greedy.greedy_search_batch` (the
+    entry-point sample is likewise drawn once and scored for all queries in a
+    single gemm) plus ``max_group``: the number of queries whose walks are
+    frontier-merged together (``None`` merges the whole batch).  Smaller
+    groups waste less cross-scoring on disjoint frontiers; larger groups
+    issue fewer, bigger gemms.  Grouping does not affect the returned
+    results — every query's walk is independent and seeded from the shared
+    entry-point sample.
+
+    Returns
+    -------
+    (indices, distances, n_evaluations):
+        ``(m, n_results)`` id/distance arrays (padded with ``-1``/``inf``
+        when fewer than ``n_results`` points are reachable) and the ``(m,)``
+        per-query distance-evaluation counts, including each query's share of
+        the batched entry-point and frontier gemms.
+    """
+    if engine is None:
+        engine = DistanceEngine()
+    data = engine.prepare(data)
+    queries = engine.prepare(queries)
+    m = queries.shape[0]
+    if rng is None:
+        rng = np.random.default_rng()
+    pool_size = max(pool_size, n_results)
+    if max_group is None:
+        max_group = m
+
+    sample, seed_block, query_norms, n_starts = seed_entry_points(
+        data, queries, n_starts, seed_sample, rng, engine, data_norms)
+
+    # Per-query best-first state, seeded exactly like the sequential walk.
+    candidates: list[list[tuple[float, int]]] = []
+    pools: list[list[tuple[float, int]]] = []
+    visited: list[set[int]] = []
+    evaluations = np.full(m, sample.size, dtype=np.int64)
+    for row in range(m):
+        keep = np.argsort(seed_block[row], kind="stable")[:n_starts]
+        cand, pool, seen = seed_heaps(sample[keep], seed_block[row][keep],
+                                      pool_size)
+        candidates.append(cand)
+        pools.append(pool)
+        visited.append(seen)
+
+    for start in range(0, m, max(1, int(max_group))):
+        rows = np.arange(start, min(start + max(1, int(max_group)), m))
+        _run_rounds(rows, data, adjacency, queries, candidates, pools,
+                    visited, evaluations, pool_size, engine, data_norms,
+                    query_norms)
+
+    out_idx = np.full((m, n_results), -1, dtype=np.int64)
+    out_dist = np.full((m, n_results), np.inf, dtype=np.float64)
+    for row in range(m):
+        results = sorted(((-d, i) for d, i in pools[row]))[:n_results]
+        out_idx[row, :len(results)] = [i for _, i in results]
+        out_dist[row, :len(results)] = [d for d, _ in results]
+    return out_idx, out_dist, evaluations

@@ -22,6 +22,8 @@ from ..distance import DistanceEngine, resolve_metric
 from ..exceptions import GraphError
 from ..validation import check_data_matrix, check_positive_int, check_random_state
 from ..graph.knngraph import KNNGraph
+from ._seeding import seed_entry_points, seed_heaps
+from .frontier import frontier_batch_search
 
 __all__ = ["GraphSearcher", "greedy_search", "greedy_search_batch"]
 
@@ -40,15 +42,8 @@ def _expand_from_starts(data: np.ndarray, adjacency: list[np.ndarray],
     accounted by the caller).
     """
     evaluations = 0
-    visited = set(int(s) for s in starts)
-
     # Candidate min-heap (to expand) and result max-heap (bounded pool).
-    candidates = [(float(d), int(s)) for d, s in zip(start_dists, starts)]
-    heapq.heapify(candidates)
-    pool = [(-float(d), int(s)) for d, s in zip(start_dists, starts)]
-    heapq.heapify(pool)
-    while len(pool) > pool_size:
-        heapq.heappop(pool)
+    candidates, pool, visited = seed_heaps(starts, start_dists, pool_size)
 
     while candidates:
         dist, node = heapq.heappop(candidates)
@@ -134,19 +129,13 @@ def greedy_search(data: np.ndarray, adjacency: list[np.ndarray],
             f"greedy_search takes a single query vector, got "
             f"{query_row.shape[0]} rows; use greedy_search_batch for "
             "multi-query search")
-    n = data.shape[0]
     if rng is None:
         rng = np.random.default_rng()
     pool_size = max(pool_size, n_results)
-    if seed_sample is None:
-        seed_sample = max(32, 8 * n_starts)
-    query_norm = engine.norms(query_row)
-    sample = rng.choice(n, size=min(seed_sample, n), replace=False)
-    sample_dists = engine.cross(
-        query_row, data[sample],
-        a_norms=query_norm,
-        b_norms=None if data_norms is None else data_norms[sample])[0]
-    keep = np.argsort(sample_dists, kind="stable")[: min(n_starts, n)]
+    sample, seed_block, query_norm, n_starts = seed_entry_points(
+        data, query_row, n_starts, seed_sample, rng, engine, data_norms)
+    sample_dists = seed_block[0]
+    keep = np.argsort(sample_dists, kind="stable")[:n_starts]
 
     indices, distances, evaluations = _expand_from_starts(
         data, adjacency, query_row, sample[keep], sample_dists[keep],
@@ -181,25 +170,16 @@ def greedy_search_batch(data: np.ndarray, adjacency: list[np.ndarray],
         engine = DistanceEngine()
     data = engine.prepare(data)
     queries = engine.prepare(queries)
-    n = data.shape[0]
     m = queries.shape[0]
     if rng is None:
         rng = np.random.default_rng()
     pool_size = max(pool_size, n_results)
-    if seed_sample is None:
-        seed_sample = max(32, 8 * n_starts)
-
-    query_norms = engine.norms(queries)
-    sample = rng.choice(n, size=min(seed_sample, n), replace=False)
-    seed_block = engine.cross(
-        queries, data[sample],
-        a_norms=query_norms,
-        b_norms=None if data_norms is None else data_norms[sample])
+    sample, seed_block, query_norms, n_starts = seed_entry_points(
+        data, queries, n_starts, seed_sample, rng, engine, data_norms)
 
     out_idx = np.full((m, n_results), -1, dtype=np.int64)
     out_dist = np.full((m, n_results), np.inf, dtype=np.float64)
     out_evals = np.empty(m, dtype=np.int64)
-    n_starts = min(n_starts, n)
     for row in range(m):
         keep = np.argsort(seed_block[row], kind="stable")[:n_starts]
         indices, distances, evaluations = _expand_from_starts(
@@ -236,13 +216,18 @@ class GraphSearcher:
     metric, dtype:
         Distance engine configuration; the dataset norms are computed once
         here and reused by every query.
+    data_norms:
+        Optional precomputed ``engine.norms(data)`` (e.g. restored from a
+        saved index) — skips the O(n·d) norms pass.  Must be a ``(n,)``
+        array; rejected for the ``dot`` metric, which uses no norms.
     """
 
     def __init__(self, data: np.ndarray, graph: KNNGraph, *,
                  pool_size: int = 32, n_starts: int = 4,
                  seed_sample: int | None = None,
                  symmetrize: bool = True, random_state=None,
-                 metric: str = "sqeuclidean", dtype=np.float64) -> None:
+                 metric: str = "sqeuclidean", dtype=np.float64,
+                 data_norms: np.ndarray | None = None) -> None:
         self.engine_ = DistanceEngine(metric, dtype)
         self.data = check_data_matrix(data, dtype=self.engine_.dtype)
         if graph.n_points != self.data.shape[0]:
@@ -260,13 +245,28 @@ class GraphSearcher:
         self.n_starts = check_positive_int(n_starts, name="n_starts")
         self.seed_sample = seed_sample
         self._rng = check_random_state(random_state)
-        self._data_norms = self.engine_.norms(self.data)
+        if data_norms is None:
+            self._data_norms = self.engine_.norms(self.data)
+        else:
+            if self.engine_.metric == "dot":
+                raise GraphError(
+                    "the dot metric uses no row norms, but data_norms was "
+                    "given")
+            data_norms = np.asarray(data_norms)
+            if data_norms.shape != (self.data.shape[0],):
+                raise GraphError(
+                    f"data_norms has shape {data_norms.shape}, expected "
+                    f"({self.data.shape[0]},)")
+            if not np.all(np.isfinite(data_norms)):
+                raise GraphError("data_norms contains NaN or infinite values")
+            self._data_norms = data_norms
         if symmetrize:
             self._adjacency = graph.symmetrized_adjacency()
         else:
             self._adjacency = [graph.neighbors(i)
                                for i in range(graph.n_points)]
         self.last_n_evaluations = 0
+        self.last_per_query_evaluations: np.ndarray | None = None
 
     @property
     def metric(self) -> str:
@@ -274,8 +274,14 @@ class GraphSearcher:
         return self.engine_.metric
 
     def query(self, query: np.ndarray, n_results: int = 10, *,
-              pool_size: int | None = None) -> tuple[np.ndarray, np.ndarray]:
-        """Search one query; returns (indices, distances)."""
+              pool_size: int | None = None,
+              rng: np.random.Generator | None = None
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """Search one query; returns (indices, distances).
+
+        ``rng`` overrides the searcher's own entry-point generator for this
+        call (used by deterministic callers like the index facade).
+        """
         query = np.asarray(query, dtype=self.engine_.dtype).ravel()
         if query.shape[0] != self.data.shape[1]:
             raise GraphError(
@@ -287,19 +293,34 @@ class GraphSearcher:
         indices, distances, evaluations = greedy_search(
             self.data, self._adjacency, query, n_results,
             pool_size=pool, n_starts=self.n_starts,
-            seed_sample=self.seed_sample, rng=self._rng,
+            seed_sample=self.seed_sample,
+            rng=self._rng if rng is None else rng,
             engine=self.engine_, data_norms=self._data_norms)
         self.last_n_evaluations = evaluations
+        self.last_per_query_evaluations = np.array([evaluations],
+                                                   dtype=np.int64)
         return indices, distances
 
     def batch_query(self, queries: np.ndarray, n_results: int = 10, *,
-                    pool_size: int | None = None
+                    pool_size: int | None = None,
+                    strategy: str = "frontier",
+                    rng: np.random.Generator | None = None
                     ) -> tuple[np.ndarray, np.ndarray]:
         """Search many queries; returns ``(m, n_results)`` index/distance arrays.
 
-        Entry-point scoring is batched into one gemm across the whole query
-        set (see :func:`greedy_search_batch`); ``last_n_evaluations`` holds
-        the total across the batch afterwards.
+        ``strategy`` selects how the batch walks the graph:
+
+        * ``"frontier"`` (default) — the frontier-merged walk of
+          :func:`~repro.search.frontier.frontier_batch_search`: every round
+          scores all live queries' merged frontier in one gemm.
+        * ``"perquery"`` — :func:`greedy_search_batch`: only the entry-point
+          gemm is shared, then each query walks the graph alone (the oracle
+          the frontier walk is parity-tested against).
+
+        Afterwards ``last_per_query_evaluations`` holds the ``(m,)``
+        per-query distance-evaluation counts (batched gemms included) and
+        ``last_n_evaluations`` their total.  ``rng`` overrides the
+        searcher's own entry-point generator for this call.
         """
         queries = check_data_matrix(queries, name="queries",
                                     dtype=self.engine_.dtype)
@@ -309,11 +330,19 @@ class GraphSearcher:
                 f"{self.data.shape[1]}")
         n_results = check_positive_int(n_results, name="n_results",
                                        maximum=self.data.shape[0])
+        if strategy not in ("frontier", "perquery"):
+            raise GraphError(
+                f"unknown batch strategy {strategy!r}; expected 'frontier' "
+                "or 'perquery'")
         pool = self.pool_size if pool_size is None else pool_size
-        out_idx, out_dist, evaluations = greedy_search_batch(
+        search = (frontier_batch_search if strategy == "frontier"
+                  else greedy_search_batch)
+        out_idx, out_dist, evaluations = search(
             self.data, self._adjacency, queries, n_results,
             pool_size=pool, n_starts=self.n_starts,
-            seed_sample=self.seed_sample, rng=self._rng,
+            seed_sample=self.seed_sample,
+            rng=self._rng if rng is None else rng,
             engine=self.engine_, data_norms=self._data_norms)
+        self.last_per_query_evaluations = evaluations
         self.last_n_evaluations = int(evaluations.sum())
         return out_idx, out_dist

@@ -58,3 +58,70 @@ class TestMain:
         out = capsys.readouterr().out
         assert "recall" in out
         assert "distortion" in out
+
+
+class TestIndexCommands:
+    def test_build_parser_defaults(self):
+        args = build_parser().parse_args(["build", "--out", "x.idx"])
+        assert args.backend == "gkmeans"
+        assert args.n_neighbors == 16
+
+    def test_search_parser(self):
+        args = build_parser().parse_args(["search", "x.idx", "--k", "5"])
+        assert args.index == "x.idx"
+        assert args.k == 5
+
+    def test_build_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build"])
+
+    def test_build_search_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.idx")
+        code = main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "500", "--n-features", "8",
+                     "--backend", "nndescent", "--n-neighbors", "6",
+                     "--seed", "1"])
+        assert code == 0
+        assert "build_seconds" in capsys.readouterr().out
+
+        code = main(["search", path, "--n-queries", "20", "--k", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recall@1" in out
+        assert "distance_evals" in out
+
+    def test_search_with_query_file(self, tmp_path, capsys):
+        import numpy as np
+        path = str(tmp_path / "cli.idx")
+        main(["build", "--out", path, "--dataset", "sift1m",
+              "--n-samples", "400", "--n-features", "8",
+              "--backend", "random", "--n-neighbors", "5", "--seed", "1"])
+        capsys.readouterr()
+        queries = np.random.default_rng(0).normal(size=(12, 8))
+        query_path = str(tmp_path / "queries.npy")
+        np.save(query_path, queries)
+        assert main(["search", path, "--queries", query_path,
+                     "--k", "3"]) == 0
+        assert "recall@3" in capsys.readouterr().out
+
+    def test_list_mentions_backends(self, capsys):
+        assert main(["list"]) == 0
+        assert "backends" in capsys.readouterr().out
+
+    def test_gkmeans_build_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "alg3.idx")
+        code = main(["build", "--out", path, "--n-samples", "400",
+                     "--n-features", "8", "--backend", "gkmeans",
+                     "--n-neighbors", "5", "--tau", "2",
+                     "--cluster-size", "30", "--seed", "1"])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["search", path, "--n-queries", "10", "--k", "3"]) == 0
+
+    def test_build_rejects_wrong_backend_knob(self, tmp_path):
+        from repro.exceptions import ValidationError
+        with pytest.raises(ValidationError, match="params"):
+            main(["build", "--out", str(tmp_path / "x.idx"),
+                  "--n-samples", "300", "--n-features", "8",
+                  "--backend", "nndescent", "--n-neighbors", "5",
+                  "--tau", "4"])

@@ -179,3 +179,54 @@ class TestRecallMetrics:
         estimate = estimate_recall_by_sampling(
             sift_small_graph, sift_small, n_probes=80, random_state=0)
         assert estimate > 0.9
+
+
+class TestMetricPropagation:
+    """A sliced or heap-built graph must never silently revert to
+    ``sqeuclidean`` (regression tests for the metric bookkeeping)."""
+
+    def test_metric_spelling_canonicalised(self):
+        graph = KNNGraph(np.array([[1], [0]]), metric="l2")
+        assert graph.metric == "sqeuclidean"
+        assert KNNGraph(np.array([[1], [0]]), metric="angular").metric == \
+            "cosine"
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError, match="metric"):
+            KNNGraph(np.array([[1], [0]]), metric="mahalanobis")
+
+    def test_truncated_preserves_metric(self):
+        graph = KNNGraph(np.array([[1, 2], [0, 2], [0, 1]]),
+                         np.array([[0.1, 0.2]] * 3), metric="cosine")
+        assert graph.truncated(1).metric == "cosine"
+
+    def test_from_heap_inherits_heap_metric(self):
+        heap = NeighborHeap(3, 2, metric="cosine")
+        heap.push_symmetric(0, 1, 0.25)
+        graph = KNNGraph.from_heap(heap)
+        assert graph.metric == "cosine"
+
+    def test_from_heap_conflicting_metric_rejected(self):
+        heap = NeighborHeap(3, 2, metric="cosine")
+        with pytest.raises(GraphError, match="metric"):
+            KNNGraph.from_heap(heap, metric="sqeuclidean")
+
+    def test_from_heap_matching_alias_accepted(self):
+        heap = NeighborHeap(3, 2, metric="cosine")
+        heap.push_symmetric(0, 1, 0.25)
+        assert KNNGraph.from_heap(heap, metric="angular").metric == "cosine"
+
+    def test_from_heap_without_heap_metric_defaults(self):
+        class BareHeap:
+            def to_arrays(self):
+                return (np.array([[1], [0]]),
+                        np.array([[0.5], [0.5]]))
+
+        assert KNNGraph.from_heap(BareHeap()).metric == "sqeuclidean"
+
+    def test_nn_descent_graph_carries_engine_metric(self, tiny_data):
+        from repro.graph import nn_descent_knn_graph
+        graph = nn_descent_knn_graph(tiny_data, 3, random_state=0,
+                                     metric="cosine")
+        assert graph.metric == "cosine"
+        assert graph.truncated(2).metric == "cosine"

@@ -4,13 +4,14 @@ is importable and is documented."""
 import importlib
 import inspect
 
+import numpy as np
 import pytest
 
 import repro
 
 SUBPACKAGES = ["repro.datasets", "repro.distance", "repro.graph",
                "repro.cluster", "repro.metrics", "repro.search",
-               "repro.experiments", "repro.cli"]
+               "repro.index", "repro.experiments", "repro.cli"]
 
 
 class TestPublicSurface:
@@ -29,7 +30,8 @@ class TestPublicSurface:
 
     @pytest.mark.parametrize("module_name", ["repro.datasets", "repro.graph",
                                              "repro.cluster", "repro.metrics",
-                                             "repro.search", "repro.distance"])
+                                             "repro.search", "repro.distance",
+                                             "repro.index"])
     def test_subpackage_all_resolves(self, module_name):
         module = importlib.import_module(module_name)
         for name in module.__all__:
@@ -68,3 +70,16 @@ class TestPublicSurface:
                         graph_cluster_size=30, max_iter=3,
                         random_state=0).fit(data)
         assert model.labels_.shape == (500,)
+
+    def test_quickstart_index_example_runs(self, tmp_path):
+        """The facade quickstart of the package docstring must stay valid."""
+        from repro import Index, datasets
+        data = datasets.make_sift_like(500, 16, random_state=0)
+        index = Index.build(data, backend="gkmeans", n_neighbors=10,
+                            random_state=0,
+                            params={"tau": 2, "cluster_size": 30})
+        ids, dists = index.search(data[:8], n_results=5)
+        assert ids.shape == (8, 5)
+        index.save(tmp_path / "corpus.idx")
+        served = Index.load(tmp_path / "corpus.idx")
+        assert np.array_equal(served.search(data[:8], n_results=5)[0], ids)

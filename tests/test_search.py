@@ -117,3 +117,49 @@ class TestEvaluateSearch:
         assert evaluation.k == 3
         assert evaluation.mean_query_seconds > 0
         assert evaluation.mean_distance_evaluations > 0
+
+
+class TestBatchStrategies:
+    def test_frontier_default_sets_per_query_counts(self, search_setup):
+        base, queries, graph = search_setup
+        searcher = GraphSearcher(base, graph, random_state=0)
+        indices, distances = searcher.batch_query(queries[:12], 4)
+        assert indices.shape == (12, 4)
+        assert searcher.last_per_query_evaluations.shape == (12,)
+        assert searcher.last_n_evaluations == \
+            int(searcher.last_per_query_evaluations.sum())
+
+    def test_perquery_strategy_available(self, search_setup):
+        base, queries, graph = search_setup
+        searcher = GraphSearcher(base, graph, random_state=0)
+        indices, _ = searcher.batch_query(queries[:12], 4,
+                                          strategy="perquery")
+        assert indices.shape == (12, 4)
+
+    def test_unknown_strategy_rejected(self, search_setup):
+        base, queries, graph = search_setup
+        searcher = GraphSearcher(base, graph, random_state=0)
+        with pytest.raises(GraphError, match="strategy"):
+            searcher.batch_query(queries[:4], 2, strategy="beam")
+
+    def test_strategies_agree_on_most_queries(self, search_setup):
+        base, queries, graph = search_setup
+        frontier = GraphSearcher(base, graph, pool_size=32, random_state=0)
+        perquery = GraphSearcher(base, graph, pool_size=32, random_state=0)
+        f_idx, _ = frontier.batch_query(queries, 5, strategy="frontier")
+        p_idx, _ = perquery.batch_query(queries, 5, strategy="perquery")
+        agree = sum(
+            np.array_equal(np.sort(f_idx[row]), np.sort(p_idx[row]))
+            for row in range(queries.shape[0]))
+        assert agree >= 0.9 * queries.shape[0]
+
+    def test_evaluate_search_batch_mode(self, search_setup):
+        base, queries, graph = search_setup
+        searcher = GraphSearcher(base, graph, pool_size=48, random_state=0)
+        evaluation = evaluate_search(searcher, queries, n_results=5,
+                                     batch=True)
+        assert evaluation.recall_at_1 > 0.7
+        assert len(evaluation.per_query_evaluations) == queries.shape[0]
+        # Batched entry-point/frontier gemms are charged per query, so every
+        # query reports at least the shared entry-sample cost.
+        assert min(evaluation.per_query_evaluations) >= 32
