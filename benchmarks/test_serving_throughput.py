@@ -1,0 +1,69 @@
+"""Serving-throughput benchmark: frontier batch search across worker counts.
+
+Records queries/sec of the ``Index`` serving path for ``workers`` ∈ {1, 2, 4}
+into the bench trajectory.  On a multi-core box the 2- and 4-worker rows
+should show >1× scaling (the hard ≥1.2× guard lives in
+``tests/test_perf_regression.py`` where timing flakiness is quarantined);
+here the enforced contract is the one that must hold *everywhere*: every
+worker count returns bit-for-bit the single-worker answer, and threading is
+never catastrophically slower.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH
+
+from repro.datasets import make_sift_like, train_query_split
+from repro.index import Index, IndexSpec
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: queries/sec per worker count, for the cross-row soft guard (filled in
+#: whatever order the cases actually run; each case is self-contained).
+_RECORDED: dict = {}
+
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    corpus = make_sift_like(BENCH.n_samples, BENCH.n_features,
+                            random_state=BENCH.random_state)
+    base, queries = train_query_split(corpus, 256,
+                                      random_state=BENCH.random_state)
+    spec = IndexSpec(backend="gkmeans", n_neighbors=BENCH.n_neighbors,
+                     pool_size=64, random_state=BENCH.random_state,
+                     params={"tau": BENCH.graph_tau,
+                             "cluster_size": BENCH.cluster_size})
+    index = Index.build(base, spec)
+    reference = index.search(queries, 10, workers=1)
+    return index, queries, reference
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_serving_throughput(benchmark, serving_setup, workers):
+    index, queries, reference = serving_setup
+    indices, distances = benchmark.pedantic(
+        lambda: index.search(queries, 10, workers=workers),
+        rounds=3, iterations=1, warmup_rounds=1)
+    stats = index.last_serving_stats
+
+    queries_per_second = queries.shape[0] / benchmark.stats.stats.min
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["queries_per_second"] = round(queries_per_second, 1)
+    benchmark.extra_info["groups"] = stats.n_groups
+    benchmark.extra_info["rounds"] = stats.n_rounds
+    benchmark.extra_info["gemms"] = stats.n_gemms
+    print(f"\nworkers={workers}: {queries_per_second:,.0f} queries/s "
+          f"({stats.n_groups} groups, {stats.n_rounds} rounds, "
+          f"{stats.n_gemms} gemms)")
+
+    assert stats.workers == min(workers, stats.n_groups)
+    # The determinism contract, measured on the real serving path.
+    assert np.array_equal(indices, reference[0])
+    assert np.array_equal(distances, reference[1])
+    # Threads may not help on a starved box, but must never be catastrophic.
+    _RECORDED[workers] = queries_per_second
+    if WORKER_COUNTS[0] in _RECORDED:
+        assert queries_per_second >= 0.5 * _RECORDED[WORKER_COUNTS[0]]

@@ -49,7 +49,7 @@ _EXPERIMENTS = {
 
 #: Experiments whose drivers currently thread ``scale.metric``/``scale.dtype``
 #: through clustering, graph construction and search.
-_METRIC_AWARE_EXPERIMENTS = {"anns", "fig2"}
+_METRIC_AWARE_EXPERIMENTS = {"anns", "fig2", "fig5", "fig6"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="gkmeans")
     build.add_argument("--n-neighbors", type=int, default=16)
     build.add_argument("--pool-size", type=int, default=32)
+    build.add_argument("--workers", type=int, default=1,
+                       help="default worker threads for batched searches "
+                            "served by the index (persisted in the spec)")
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--tau", type=int, default=None,
                        help="gkmeans backend: construction rounds")
@@ -128,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--n-queries", type=int, default=100)
     search.add_argument("--k", type=int, default=10)
     search.add_argument("--pool-size", type=int, default=None)
+    search.add_argument("--workers", type=int, default=None,
+                        help="worker threads for the batched frontier walk "
+                             "(default: the index spec's setting; results "
+                             "are identical for every worker count)")
     search.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list", help="list datasets, methods and experiments")
@@ -154,8 +161,8 @@ def _run_build(args) -> int:
                         random_state=args.seed)
     spec = IndexSpec(backend=args.backend, n_neighbors=args.n_neighbors,
                      metric=args.metric, dtype=args.dtype,
-                     pool_size=args.pool_size, random_state=args.seed,
-                     params=_build_params(args))
+                     pool_size=args.pool_size, workers=args.workers,
+                     random_state=args.seed, params=_build_params(args))
     index = Index.build(data, spec)
     index.save(args.out)
     print(render_table([{
@@ -184,16 +191,23 @@ def _run_search(args) -> int:
         queries = index.data[rows]
         source = f"{n_queries} indexed rows (self-queries)"
     evaluation = evaluate_search(index, queries, n_results=args.k,
-                                 pool_size=args.pool_size)
+                                 pool_size=args.pool_size,
+                                 workers=args.workers)
     print(f"index:   {index!r}")
     print(f"queries: {source}")
-    print(render_table([{
+    row = {
         "k": args.k,
         "recall@1": evaluation.recall_at_1,
         f"recall@{args.k}": evaluation.recall_at_k,
         "query_ms": evaluation.mean_query_seconds * 1000.0,
         "distance_evals": evaluation.mean_distance_evaluations,
-    }]))
+    }
+    stats = evaluation.serving_stats
+    if stats is not None:
+        row.update(workers=stats.workers, groups=stats.n_groups,
+                   rounds=stats.n_rounds, gemms=stats.n_gemms,
+                   qps=stats.queries_per_second)
+    print(render_table([row]))
     return 0
 
 

@@ -22,8 +22,15 @@ __all__ = ["run"]
 
 
 def run(scale: ExperimentScale = DEFAULT, *, n_queries: int = 100,
-        n_results: int = 10, pool_size: int = 48) -> dict:
-    """Run the ANNS probe; returns a per-graph-builder result table."""
+        n_results: int = 10, pool_size: int = 48,
+        workers: int = 1) -> dict:
+    """Run the ANNS probe; returns a per-graph-builder result table.
+
+    ``workers`` spreads the frontier-merged batch walk over that many
+    threads — a pure throughput knob (results are bit-for-bit identical for
+    every worker count), so the reported recalls and evaluation counts do
+    not depend on it.
+    """
     corpus = make_sift_like(scale.n_samples, scale.n_features,
                             random_state=scale.random_state)
     base, queries = train_query_split(corpus, n_queries,
@@ -48,7 +55,9 @@ def run(scale: ExperimentScale = DEFAULT, *, n_queries: int = 100,
     rows = []
     for name, spec in sorted(specs.items()):
         index = Index.build(base, spec)
-        evaluation = evaluate_search(index, queries, n_results=n_results)
+        evaluation = evaluate_search(index, queries, n_results=n_results,
+                                     workers=workers)
+        stats = evaluation.serving_stats
         rows.append({
             "graph": name,
             "recall@1": evaluation.recall_at_1,
@@ -56,6 +65,7 @@ def run(scale: ExperimentScale = DEFAULT, *, n_queries: int = 100,
             "query_ms": evaluation.mean_query_seconds * 1000.0,
             "distance_evals": evaluation.mean_distance_evaluations,
             "build_seconds": index.build_seconds,
+            "qps": None if stats is None else stats.queries_per_second,
         })
     return {
         "table": rows,
@@ -64,6 +74,7 @@ def run(scale: ExperimentScale = DEFAULT, *, n_queries: int = 100,
             "n_queries": queries.shape[0],
             "n_neighbors": scale.n_neighbors,
             "pool_size": pool_size,
+            "workers": workers,
             "search": "frontier-merged batch",
         },
     }

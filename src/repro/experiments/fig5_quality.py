@@ -4,7 +4,9 @@ The paper runs Mini-Batch, closure k-means, k-means, BKM, KGraph+GK-means and
 GK-means on SIFT1M, Glove1M and GIST1M with k = 10 000 and plots the average
 distortion as a function of (a/c/e) the iteration count and (b/d/f) wall-clock
 time.  The reproduction runs the same cast on the scaled stand-ins and returns
-both curves per method per dataset.
+both curves per method per dataset.  ``scale.metric``/``scale.dtype`` are
+threaded into every method, so the comparison also runs under cosine or in
+float32.
 """
 
 from __future__ import annotations
@@ -33,6 +35,8 @@ def run(scale: ExperimentScale = DEFAULT, *, datasets=DEFAULT_DATASETS,
     """
     output: dict = {"metadata": {"n_clusters": scale.n_clusters,
                                  "max_iter": scale.max_iter,
+                                 "metric": scale.metric,
+                                 "dtype": scale.dtype,
                                  "methods": list(methods)},
                     "datasets": {}}
     for dataset_name in datasets:
@@ -50,6 +54,7 @@ def run(scale: ExperimentScale = DEFAULT, *, datasets=DEFAULT_DATASETS,
             run_result = run_method(method, data, scale.n_clusters,
                                     max_iter=scale.max_iter,
                                     random_state=scale.random_state,
+                                    metric=scale.metric, dtype=scale.dtype,
                                     **options)
             per_method_iteration[method] = run_result.result.distortion_curve()
             per_method_time[method] = run_result.result.time_curve()

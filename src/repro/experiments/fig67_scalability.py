@@ -9,7 +9,9 @@ VLAD10M corpus and reports
 * Fig. 7(a)/(b): the corresponding average distortions.
 
 The reproduction keeps the geometric sweeps but shrinks the absolute sizes
-(n up to a few tens of thousands, k up to a few hundred).  The headline shape
+(n up to a few tens of thousands, k up to a few hundred);
+``scale.metric``/``scale.dtype`` are threaded into every method, so the
+sweeps also run under cosine or in float32.  The headline shape
 to verify: the GK-means (and closure) curves stay nearly flat in k while
 k-means/BKM/Mini-Batch grow linearly, and GK-means tracks BKM's distortion.
 """
@@ -62,6 +64,7 @@ def run_size_sweep(scale: ExperimentScale = DEFAULT, *, sizes=None,
             run_result = run_method(
                 method, data, n_clusters, max_iter=scale.max_iter,
                 random_state=scale.random_state,
+                metric=scale.metric, dtype=scale.dtype,
                 **_method_options(method, scale))
             rows.append({"n": size, "method": method,
                          "seconds": run_result.total_seconds,
@@ -78,7 +81,8 @@ def run_size_sweep(scale: ExperimentScale = DEFAULT, *, sizes=None,
     return {"table": rows, "series": time_series,
             "distortion_series": distortion_series,
             "evaluation_series": evaluation_series,
-            "metadata": {"n_clusters": n_clusters, "sizes": list(sizes)}}
+            "metadata": {"n_clusters": n_clusters, "sizes": list(sizes),
+                         "metric": scale.metric, "dtype": scale.dtype}}
 
 
 def run_cluster_sweep(scale: ExperimentScale = DEFAULT, *, cluster_counts=None,
@@ -102,6 +106,7 @@ def run_cluster_sweep(scale: ExperimentScale = DEFAULT, *, cluster_counts=None,
             run_result = run_method(
                 method, data, n_clusters, max_iter=scale.max_iter,
                 random_state=scale.random_state,
+                metric=scale.metric, dtype=scale.dtype,
                 **_method_options(method, scale))
             rows.append({"k": n_clusters, "method": method,
                          "seconds": run_result.total_seconds,
@@ -119,7 +124,8 @@ def run_cluster_sweep(scale: ExperimentScale = DEFAULT, *, cluster_counts=None,
             "distortion_series": distortion_series,
             "evaluation_series": evaluation_series,
             "metadata": {"n_samples": n_samples,
-                         "cluster_counts": list(cluster_counts)}}
+                         "cluster_counts": list(cluster_counts),
+                         "metric": scale.metric, "dtype": scale.dtype}}
 
 
 def run(scale: ExperimentScale = DEFAULT, *, methods=DEFAULT_METHODS) -> dict:

@@ -66,6 +66,10 @@ class Index:
     last_n_evaluations, last_per_query_evaluations:
         Total and ``(m,)`` per-query distance-evaluation counts of the most
         recent :meth:`search` call (batched gemms charged per query).
+    last_serving_stats:
+        :class:`~repro.search.frontier.ServingStats` of the most recent
+        batched frontier search — per-group rounds, gemm counts, wall time —
+        or ``None`` after single-query / per-query calls.
     """
 
     def __init__(self, data: np.ndarray, graph: KNNGraph, spec: IndexSpec, *,
@@ -96,6 +100,12 @@ class Index:
     def last_per_query_evaluations(self) -> np.ndarray | None:
         """``(m,)`` per-query evaluation counts of the most recent search."""
         return self._searcher.last_per_query_evaluations
+
+    @property
+    def last_serving_stats(self):
+        """:class:`~repro.search.frontier.ServingStats` of the most recent
+        batched frontier search, or ``None``."""
+        return self._searcher.last_serving_stats
 
     @property
     def data(self) -> np.ndarray:
@@ -171,6 +181,7 @@ class Index:
     # ------------------------------------------------------------------ #
     def search(self, queries: np.ndarray, n_results: int = 10, *,
                pool_size: int | None = None, strategy: str | None = None,
+               workers: int | None = None,
                random_state=None) -> tuple[np.ndarray, np.ndarray]:
         """Serve one query or a batch of queries.
 
@@ -188,6 +199,11 @@ class Index:
             Batch walk selection — ``"frontier"`` (default: one gemm per
             round across all live queries) or ``"perquery"`` (the sequential
             oracle).  Ignored for single queries.
+        workers:
+            Worker-thread override for the batched frontier walk (defaults
+            to ``spec.workers``).  Results are bit-for-bit identical for
+            every worker count; ignored for single queries and the
+            per-query strategy.
         random_state:
             Entry-point seed override; defaults to ``spec.random_state``, so
             repeated calls are deterministic.
@@ -204,7 +220,9 @@ class Index:
                                         pool_size=pool_size, rng=rng)
         return self._searcher.batch_query(
             queries, n_results, pool_size=pool_size,
-            strategy="frontier" if strategy is None else strategy, rng=rng)
+            strategy="frontier" if strategy is None else strategy,
+            workers=self.spec.workers if workers is None else workers,
+            rng=rng)
 
     # ------------------------------------------------------------------ #
     # Persistence

@@ -96,6 +96,11 @@ class IndexSpec:
         reuse one entry sample for *every* query — a small sample's blind
         spots would then fail the same queries systematically, and the sample
         is scored in a single shared gemm anyway.
+    workers:
+        Default worker-thread count for batched frontier searches served by
+        the index.  Purely a throughput knob — results are bit-for-bit
+        identical for every worker count — so it is safe to persist and to
+        override per call.
     symmetrize:
         Whether search adds reverse edges to the adjacency (recommended).
     random_state:
@@ -114,6 +119,7 @@ class IndexSpec:
     pool_size: int = 32
     n_starts: int = 4
     seed_sample: int | None = 256
+    workers: int = 1
     symmetrize: bool = True
     random_state: int = 0
     params: Mapping = field(default_factory=dict)
@@ -139,6 +145,8 @@ class IndexSpec:
             self.pool_size, name="pool_size"))
         object.__setattr__(self, "n_starts", check_positive_int(
             self.n_starts, name="n_starts"))
+        object.__setattr__(self, "workers", check_positive_int(
+            self.workers, name="workers"))
         if self.seed_sample is not None:
             object.__setattr__(self, "seed_sample", check_positive_int(
                 self.seed_sample, name="seed_sample"))
@@ -176,6 +184,7 @@ class IndexSpec:
             "pool_size": self.pool_size,
             "n_starts": self.n_starts,
             "seed_sample": self.seed_sample,
+            "workers": self.workers,
             "symmetrize": self.symmetrize,
             "random_state": self.random_state,
             "params": dict(self.params),
@@ -192,8 +201,8 @@ class IndexSpec:
             raise ValidationError(
                 f"index spec must be a mapping, got {type(payload).__name__}")
         known = {"backend", "n_neighbors", "metric", "dtype", "pool_size",
-                 "n_starts", "seed_sample", "symmetrize", "random_state",
-                 "params"}
+                 "n_starts", "seed_sample", "workers", "symmetrize",
+                 "random_state", "params"}
         unknown = set(payload) - known
         if unknown:
             raise ValidationError(

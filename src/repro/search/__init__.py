@@ -6,7 +6,7 @@ best-first graph search used for that purpose and the recall/latency
 evaluation protocol.
 """
 
-from .frontier import frontier_batch_search
+from .frontier import ServingStats, frontier_batch_search
 from .greedy import GraphSearcher, greedy_search, greedy_search_batch
 from .evaluation import SearchEvaluation, evaluate_search
 
@@ -15,6 +15,7 @@ __all__ = [
     "greedy_search",
     "greedy_search_batch",
     "frontier_batch_search",
+    "ServingStats",
     "SearchEvaluation",
     "evaluate_search",
 ]

@@ -10,6 +10,7 @@ import numpy as np
 from ..exceptions import ValidationError
 from ..graph.bruteforce import brute_force_neighbors
 from ..validation import check_data_matrix, check_positive_int
+from .frontier import ServingStats
 
 __all__ = ["SearchEvaluation", "evaluate_search"]
 
@@ -37,6 +38,11 @@ class SearchEvaluation:
         with per-query search.
     per_query_evaluations:
         Per-query distance-evaluation counts, aligned with the query order.
+    serving_stats:
+        :class:`~repro.search.frontier.ServingStats` of the batched frontier
+        search that served the queries — per-group rounds, gemm counts and
+        wall time — or ``None`` when the run was per-query / per-query
+        strategy and no frontier walk happened.
     """
 
     recall_at_1: float
@@ -45,11 +51,12 @@ class SearchEvaluation:
     mean_query_seconds: float
     mean_distance_evaluations: float
     per_query_evaluations: tuple = ()
+    serving_stats: ServingStats | None = None
 
 
 def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
-                    pool_size: int | None = None, batch: bool | None = None
-                    ) -> SearchEvaluation:
+                    pool_size: int | None = None, batch: bool | None = None,
+                    workers: int | None = None) -> SearchEvaluation:
     """Evaluate a searcher against exact brute-force results.
 
     Parameters
@@ -69,6 +76,10 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
         divided by ``m``); ``False`` issues one call per query.  Defaults to
         batch mode for an ``Index`` and per-query mode for a
         ``GraphSearcher``.
+    workers:
+        Worker-thread override for the batched frontier walk (forwarded to
+        the searcher; results are identical for every worker count).
+        Ignored in per-query mode.
 
     The brute-force oracle is computed under the searcher's own metric, so
     cosine / inner-product searchers are scored against the right ground
@@ -90,16 +101,19 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
                                          engine=engine)
 
     m = queries.shape[0]
+    serving_stats = None
     if batch:
         started = time.perf_counter()
         if is_index:
             approx, _ = searcher.search(queries, n_results,
-                                        pool_size=pool_size)
+                                        pool_size=pool_size, workers=workers)
         else:
             approx, _ = searcher.batch_query(queries, n_results,
-                                             pool_size=pool_size)
+                                             pool_size=pool_size,
+                                             workers=workers)
         total_seconds = time.perf_counter() - started
         per_query = np.asarray(searcher.last_per_query_evaluations)
+        serving_stats = getattr(searcher, "last_serving_stats", None)
         approx_rows = [approx[row] for row in range(m)]
     else:
         approx_rows = []
@@ -132,4 +146,5 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
         k=n_results,
         mean_query_seconds=total_seconds / m,
         mean_distance_evaluations=float(per_query.mean()),
-        per_query_evaluations=tuple(int(v) for v in per_query))
+        per_query_evaluations=tuple(int(v) for v in per_query),
+        serving_stats=serving_stats)

@@ -30,18 +30,88 @@ comparable across strategies and include each query's share of the batched
 entry-point gemm.  The merged gemm additionally computes row/column
 combinations no query asked for; that slack is a batching trade-off bounded
 by ``max_group`` and is *not* billed to individual queries.
+
+Parallel serving: the group walks share no per-query state, so ``workers=N``
+runs them on a :class:`~concurrent.futures.ThreadPoolExecutor` — the gemms
+release the GIL inside BLAS, so threads scale without pickling the dataset.
+Each group's walk is a deterministic function of its (already seeded)
+per-query state alone, and each worker mutates only its own group's rows, so
+``workers=N`` output is bit-for-bit identical to ``workers=1`` — a contract
+enforced by the determinism suite, not left to hope.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..distance import DistanceEngine
+from ..validation import check_positive_int
 from ._seeding import seed_entry_points, seed_heaps
 
-__all__ = ["frontier_batch_search"]
+__all__ = ["ServingStats", "frontier_batch_search"]
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Execution profile of one frontier-merged batch search.
+
+    Grouping and threading change *how fast* the batch is served, never
+    *what* it returns; this record is where the "how fast" lives — the
+    per-group walk shape plus wall time, enough to compare worker counts or
+    ``max_group`` choices without re-deriving anything.
+
+    Attributes
+    ----------
+    workers:
+        Worker threads actually used (clamped to the group count).
+    max_group:
+        Group bound the batch was split under.
+    n_queries:
+        Number of queries served.
+    group_sizes, group_rounds, group_gemms, group_seconds:
+        Per-group query counts, walk rounds, frontier gemms issued and
+        wall-clock walk seconds, aligned by group.  Rounds and gemms are
+        deterministic (they describe the walk, not the hardware); seconds
+        are wall time and vary run to run.
+    total_seconds:
+        Wall-clock time of the whole batch call, seeding included.
+    """
+
+    workers: int
+    max_group: int
+    n_queries: int
+    group_sizes: tuple = ()
+    group_rounds: tuple = ()
+    group_gemms: tuple = ()
+    group_seconds: tuple = ()
+    total_seconds: float = 0.0
+
+    @property
+    def n_groups(self) -> int:
+        """Number of independently walked query groups."""
+        return len(self.group_sizes)
+
+    @property
+    def n_rounds(self) -> int:
+        """Total walk rounds across groups."""
+        return int(sum(self.group_rounds))
+
+    @property
+    def n_gemms(self) -> int:
+        """Total frontier gemms issued across groups."""
+        return int(sum(self.group_gemms))
+
+    @property
+    def queries_per_second(self) -> float:
+        """Serving throughput of this call (0.0 for an instantaneous call)."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.n_queries / self.total_seconds
 
 
 def _run_rounds(rows: np.ndarray, data: np.ndarray,
@@ -50,10 +120,18 @@ def _run_rounds(rows: np.ndarray, data: np.ndarray,
                 visited: list[set], evaluations: np.ndarray,
                 pool_size: int, engine: DistanceEngine,
                 data_norms: np.ndarray | None,
-                query_norms: np.ndarray | None) -> None:
-    """Walk one group of queries to completion, one gemm per round."""
+                query_norms: np.ndarray | None) -> tuple[int, int]:
+    """Walk one group of queries to completion, one gemm per round.
+
+    Returns ``(rounds, gemms)``: how many rounds the group walked and how
+    many of them issued a frontier gemm (the last round pops every query's
+    heap dry and scores nothing).
+    """
+    rounds = 0
+    gemms = 0
     live = dict.fromkeys(int(r) for r in rows)
     while live:
+        rounds += 1
         # Pop each live query's next expandable candidate (skipping fully
         # visited ones, terminating queries whose best candidate can no
         # longer improve a full pool — the sequential walk's exact rule).
@@ -79,6 +157,7 @@ def _run_rounds(rows: np.ndarray, data: np.ndarray,
                 frontiers[row] = neighbors
         if not frontiers:
             break
+        gemms += 1
 
         # One gemm scores the merged frontier against every live query.
         union = np.unique(np.concatenate(
@@ -101,6 +180,7 @@ def _run_rounds(rows: np.ndarray, data: np.ndarray,
                     if len(pool) > pool_size:
                         heapq.heappop(pool)
                     heapq.heappush(cand, (float(neighbor_dist), neighbor))
+    return rounds, gemms
 
 
 def frontier_batch_search(data: np.ndarray, adjacency: list[np.ndarray],
@@ -108,29 +188,39 @@ def frontier_batch_search(data: np.ndarray, adjacency: list[np.ndarray],
                           pool_size: int = 32, n_starts: int = 4,
                           seed_sample: int | None = None,
                           max_group: int | None = 32,
+                          workers: int = 1,
                           rng: np.random.Generator | None = None,
                           engine: DistanceEngine | None = None,
                           data_norms: np.ndarray | None = None
-                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                     ServingStats]:
     """Multi-query greedy search scoring merged frontiers in one gemm per round.
 
     Parameters match :func:`~repro.search.greedy.greedy_search_batch` (the
     entry-point sample is likewise drawn once and scored for all queries in a
-    single gemm) plus ``max_group``: the number of queries whose walks are
-    frontier-merged together (``None`` merges the whole batch).  Smaller
-    groups waste less cross-scoring on disjoint frontiers; larger groups
-    issue fewer, bigger gemms.  Grouping does not affect the returned
-    results — every query's walk is independent and seeded from the shared
-    entry-point sample.
+    single gemm) plus ``max_group`` and ``workers``:
+
+    * ``max_group`` — the number of queries whose walks are frontier-merged
+      together (``None`` merges the whole batch).  Smaller groups waste less
+      cross-scoring on disjoint frontiers; larger groups issue fewer, bigger
+      gemms.
+    * ``workers`` — worker threads the independent group walks are spread
+      over (clamped to the group count; ``1`` walks the groups sequentially).
+
+    Neither knob affects the returned results — every query's walk is
+    independent, seeded from the shared entry-point sample, and mutates only
+    its own state, so ``workers=N`` is bit-for-bit identical to ``workers=1``.
 
     Returns
     -------
-    (indices, distances, n_evaluations):
+    (indices, distances, n_evaluations, stats):
         ``(m, n_results)`` id/distance arrays (padded with ``-1``/``inf``
-        when fewer than ``n_results`` points are reachable) and the ``(m,)``
-        per-query distance-evaluation counts, including each query's share of
-        the batched entry-point and frontier gemms.
+        when fewer than ``n_results`` points are reachable), the ``(m,)``
+        per-query distance-evaluation counts (including each query's share of
+        the batched entry-point and frontier gemms), and the call's
+        :class:`ServingStats`.
     """
+    started = time.perf_counter()
     if engine is None:
         engine = DistanceEngine()
     data = engine.prepare(data)
@@ -141,6 +231,8 @@ def frontier_batch_search(data: np.ndarray, adjacency: list[np.ndarray],
     pool_size = max(pool_size, n_results)
     if max_group is None:
         max_group = m
+    max_group = max(1, int(max_group))
+    workers = check_positive_int(workers, name="workers")
 
     sample, seed_block, query_norms, n_starts = seed_entry_points(
         data, queries, n_starts, seed_sample, rng, engine, data_norms)
@@ -158,11 +250,24 @@ def frontier_batch_search(data: np.ndarray, adjacency: list[np.ndarray],
         pools.append(pool)
         visited.append(seen)
 
-    for start in range(0, m, max(1, int(max_group))):
-        rows = np.arange(start, min(start + max(1, int(max_group)), m))
-        _run_rounds(rows, data, adjacency, queries, candidates, pools,
-                    visited, evaluations, pool_size, engine, data_norms,
-                    query_norms)
+    groups = [np.arange(start, min(start + max_group, m))
+              for start in range(0, m, max_group)]
+    workers = min(workers, max(1, len(groups)))
+
+    def walk_group(rows: np.ndarray) -> tuple[int, int, float]:
+        group_started = time.perf_counter()
+        rounds, gemms = _run_rounds(
+            rows, data, adjacency, queries, candidates, pools, visited,
+            evaluations, pool_size, engine, data_norms, query_norms)
+        return rounds, gemms, time.perf_counter() - group_started
+
+    # Each group touches only its own rows of the shared state, so the
+    # threaded walks need no locks and cannot reorder each other's results.
+    if workers == 1:
+        walked = [walk_group(rows) for rows in groups]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            walked = list(executor.map(walk_group, groups))
 
     out_idx = np.full((m, n_results), -1, dtype=np.int64)
     out_dist = np.full((m, n_results), np.inf, dtype=np.float64)
@@ -170,4 +275,11 @@ def frontier_batch_search(data: np.ndarray, adjacency: list[np.ndarray],
         results = sorted(((-d, i) for d, i in pools[row]))[:n_results]
         out_idx[row, :len(results)] = [i for _, i in results]
         out_dist[row, :len(results)] = [d for d, _ in results]
-    return out_idx, out_dist, evaluations
+    stats = ServingStats(
+        workers=workers, max_group=max_group, n_queries=m,
+        group_sizes=tuple(len(rows) for rows in groups),
+        group_rounds=tuple(rounds for rounds, _, _ in walked),
+        group_gemms=tuple(gemms for _, gemms, _ in walked),
+        group_seconds=tuple(seconds for _, _, seconds in walked),
+        total_seconds=time.perf_counter() - started)
+    return out_idx, out_dist, evaluations, stats

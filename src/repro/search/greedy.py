@@ -23,7 +23,7 @@ from ..exceptions import GraphError
 from ..validation import check_data_matrix, check_positive_int, check_random_state
 from ..graph.knngraph import KNNGraph
 from ._seeding import seed_entry_points, seed_heaps
-from .frontier import frontier_batch_search
+from .frontier import ServingStats, frontier_batch_search
 
 __all__ = ["GraphSearcher", "greedy_search", "greedy_search_batch"]
 
@@ -267,6 +267,7 @@ class GraphSearcher:
                                for i in range(graph.n_points)]
         self.last_n_evaluations = 0
         self.last_per_query_evaluations: np.ndarray | None = None
+        self.last_serving_stats: ServingStats | None = None
 
     @property
     def metric(self) -> str:
@@ -299,11 +300,13 @@ class GraphSearcher:
         self.last_n_evaluations = evaluations
         self.last_per_query_evaluations = np.array([evaluations],
                                                    dtype=np.int64)
+        self.last_serving_stats = None
         return indices, distances
 
     def batch_query(self, queries: np.ndarray, n_results: int = 10, *,
                     pool_size: int | None = None,
                     strategy: str = "frontier",
+                    workers: int | None = None,
                     rng: np.random.Generator | None = None
                     ) -> tuple[np.ndarray, np.ndarray]:
         """Search many queries; returns ``(m, n_results)`` index/distance arrays.
@@ -317,9 +320,16 @@ class GraphSearcher:
           gemm is shared, then each query walks the graph alone (the oracle
           the frontier walk is parity-tested against).
 
+        ``workers`` (frontier strategy only) spreads the independent group
+        walks over that many threads; results are bit-for-bit identical for
+        every worker count, so it is purely a throughput knob.  Defaults to
+        ``1``.
+
         Afterwards ``last_per_query_evaluations`` holds the ``(m,)``
-        per-query distance-evaluation counts (batched gemms included) and
-        ``last_n_evaluations`` their total.  ``rng`` overrides the
+        per-query distance-evaluation counts (batched gemms included),
+        ``last_n_evaluations`` their total, and ``last_serving_stats`` the
+        frontier walk's :class:`~repro.search.frontier.ServingStats`
+        (``None`` for the per-query strategy).  ``rng`` overrides the
         searcher's own entry-point generator for this call.
         """
         queries = check_data_matrix(queries, name="queries",
@@ -334,15 +344,23 @@ class GraphSearcher:
             raise GraphError(
                 f"unknown batch strategy {strategy!r}; expected 'frontier' "
                 "or 'perquery'")
+        workers = 1 if workers is None else check_positive_int(
+            workers, name="workers")
         pool = self.pool_size if pool_size is None else pool_size
-        search = (frontier_batch_search if strategy == "frontier"
-                  else greedy_search_batch)
-        out_idx, out_dist, evaluations = search(
-            self.data, self._adjacency, queries, n_results,
+        common = dict(
             pool_size=pool, n_starts=self.n_starts,
             seed_sample=self.seed_sample,
             rng=self._rng if rng is None else rng,
             engine=self.engine_, data_norms=self._data_norms)
+        if strategy == "frontier":
+            out_idx, out_dist, evaluations, stats = frontier_batch_search(
+                self.data, self._adjacency, queries, n_results,
+                workers=workers, **common)
+            self.last_serving_stats = stats
+        else:
+            out_idx, out_dist, evaluations = greedy_search_batch(
+                self.data, self._adjacency, queries, n_results, **common)
+            self.last_serving_stats = None
         self.last_per_query_evaluations = evaluations
         self.last_n_evaluations = int(evaluations.sum())
         return out_idx, out_dist

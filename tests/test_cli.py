@@ -70,6 +70,15 @@ class TestIndexCommands:
         args = build_parser().parse_args(["search", "x.idx", "--k", "5"])
         assert args.index == "x.idx"
         assert args.k == 5
+        assert args.workers is None  # defaults to the index spec's setting
+
+    def test_workers_parse(self):
+        args = build_parser().parse_args(["build", "--out", "x.idx",
+                                          "--workers", "4"])
+        assert args.workers == 4
+        args = build_parser().parse_args(["search", "x.idx",
+                                          "--workers", "2"])
+        assert args.workers == 2
 
     def test_build_requires_out(self):
         with pytest.raises(SystemExit):
@@ -103,6 +112,39 @@ class TestIndexCommands:
         assert main(["search", path, "--queries", query_path,
                      "--k", "3"]) == 0
         assert "recall@3" in capsys.readouterr().out
+
+    def test_parallel_search_round_trip(self, tmp_path, capsys):
+        """``--workers`` builds a parallel-serving index and searches it.
+
+        The worker count is a pure throughput knob, so the parallel search
+        must report the same recall/eval numbers as the sequential one.
+        """
+        path = str(tmp_path / "parallel.idx")
+        code = main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "500", "--n-features", "8",
+                     "--backend", "nndescent", "--n-neighbors", "6",
+                     "--workers", "4", "--seed", "1"])
+        assert code == 0
+        capsys.readouterr()
+
+        assert main(["search", path, "--n-queries", "40", "--k", "5",
+                     "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "workers" in parallel
+        assert "qps" in parallel
+        assert main(["search", path, "--n-queries", "40", "--k", "5",
+                     "--workers", "1"]) == 0
+        sequential = capsys.readouterr().out
+
+        def fetch(text, column):
+            lines = text.splitlines()
+            header, row = lines[-3].split(), lines[-1].split()
+            return row[header.index(column)]
+
+        for column in ("recall@1", "recall@5", "distance_evals"):
+            assert fetch(parallel, column) == fetch(sequential, column)
+        assert fetch(parallel, "workers") == "2"
+        assert fetch(sequential, "workers") == "1"
 
     def test_list_mentions_backends(self, capsys):
         assert main(["list"]) == 0

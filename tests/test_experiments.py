@@ -131,6 +131,21 @@ class TestFig5:
             iterations, distortions = content["vs_iteration"][method]
             assert len(iterations) == len(distortions) > 0
 
+    def test_cosine_metric_threaded_through(self):
+        """``scale.metric``/``scale.dtype`` reach every fig5 method."""
+        payload = fig5_quality.run(
+            TINY.scaled(metric="cosine", dtype="float32"),
+            datasets=("glove1m",), methods=("k-means", "GK-means"))
+        assert payload["metadata"]["metric"] == "cosine"
+        assert payload["metadata"]["dtype"] == "float32"
+        rows = {row["method"]: row for row in
+                payload["datasets"]["glove1m"]["table"]}
+        assert set(rows) == {"k-means", "GK-means"}
+        # Cosine distortion lives in [0, 2] per point — a squared-Euclidean
+        # run on this data would report values orders of magnitude larger.
+        for row in rows.values():
+            assert 0.0 <= row["final_distortion"] <= 2.0
+
 
 class TestFig67:
     def test_sweep_structure(self):
@@ -155,6 +170,20 @@ class TestFig67:
         g_growth = by_method["GK-means"][1][-1] / max(by_method["GK-means"][1][0],
                                                       1e-9)
         assert g_growth < max(k_growth, 4.0) * 5
+
+    def test_cosine_metric_threaded_through_sweeps(self):
+        """``scale.metric``/``scale.dtype`` reach both fig6/fig7 sweeps."""
+        cosine = TINY.scaled(metric="cosine")
+        size_sweep = fig67_scalability.run_size_sweep(
+            cosine, sizes=(200, 400), n_clusters=10, methods=("GK-means",))
+        cluster_sweep = fig67_scalability.run_cluster_sweep(
+            cosine, cluster_counts=(8, 16), n_samples=400,
+            methods=("GK-means",))
+        for payload in (size_sweep, cluster_sweep):
+            assert payload["metadata"]["metric"] == "cosine"
+            for row in payload["table"]:
+                # cosine distortion is bounded by 2 per point
+                assert 0.0 <= row["distortion"] <= 2.0
 
 
 class TestTables:
@@ -189,6 +218,18 @@ class TestAnnsProbe:
         for row in payload["table"]:
             assert 0.0 <= row["recall@1"] <= 1.0
             assert row["query_ms"] > 0
+            assert row["qps"] > 0
+
+    def test_probe_workers_do_not_change_results(self):
+        sequential = anns_probe.run(TINY, n_queries=20, n_results=5,
+                                    pool_size=32)
+        parallel = anns_probe.run(TINY, n_queries=20, n_results=5,
+                                  pool_size=32, workers=2)
+        assert parallel["metadata"]["workers"] == 2
+        for seq_row, par_row in zip(sequential["table"], parallel["table"]):
+            assert seq_row["recall@1"] == par_row["recall@1"]
+            assert seq_row["recall@5"] == par_row["recall@5"]
+            assert seq_row["distance_evals"] == par_row["distance_evals"]
 
 
 class TestAblations:

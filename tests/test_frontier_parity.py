@@ -1,0 +1,137 @@
+"""Randomized parity suite: the frontier-merged walk vs the per-query oracle.
+
+The frontier walk promises that grouping and gemm merging change *how*
+distances are computed, never *what* is returned: every query's trajectory is
+the sequential greedy walk's.  This suite sweeps metric × dtype ×
+``max_group`` × batch shape (single query, batch smaller than a group, batch
+not divisible by the group bound, duplicated queries) and checks the results
+against :func:`~repro.search.greedy.greedy_search_batch` — the per-query
+oracle that shares only the entry-point gemm.
+
+The comparison is exact up to distance ties: rows must match id-for-id,
+except that positions whose distances are bitwise-tied may be permuted (a
+different-but-equally-correct ordering a BLAS is allowed to produce when it
+rounds a merged gemm differently from a single-row one).  Any mismatch with
+distinct distances is a real divergence and fails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_sift_like, train_query_split
+from repro.distance import DistanceEngine
+from repro.graph import brute_force_knn_graph
+from repro.search import frontier_batch_search, greedy_search_batch
+
+#: Every supported engine configuration.
+ENGINE_CONFIGS = [(metric, dtype)
+                  for metric in ("sqeuclidean", "cosine", "dot")
+                  for dtype in ("float64", "float32")]
+
+#: Group bounds exercised: degenerate (1), ragged (3), default (32) and
+#: whole-batch merging (None).
+MAX_GROUPS = (1, 3, 32, None)
+
+SEED_SAMPLE = 48
+
+
+@pytest.fixture(scope="module", params=[11, 29])
+def parity_setup(request):
+    """Base data, queries and a symmetrized exact graph, for two seeds."""
+    corpus = make_sift_like(650, 16, random_state=request.param)
+    base, queries = train_query_split(corpus, 50,
+                                      random_state=request.param)
+    graph = brute_force_knn_graph(base, 8)
+    return base, queries, graph.symmetrized_adjacency()
+
+
+def _batch_shapes(queries: np.ndarray) -> dict:
+    """The batch shapes the issue calls out, keyed by a readable name."""
+    return {
+        "m=1": queries[:1],
+        "m<max_group": queries[:5],
+        "m%max_group!=0": queries[:50],
+        "duplicates": np.vstack([queries[:7], queries[:7], queries[3:10]]),
+    }
+
+
+def _assert_rows_match(f_idx, f_dist, g_idx, g_dist, label: str) -> None:
+    """Exact-per-row equality, permitting permutations of tied distances."""
+    for row in range(f_idx.shape[0]):
+        if np.array_equal(f_idx[row], g_idx[row]):
+            assert np.array_equal(f_dist[row], g_dist[row]), \
+                f"{label} row {row}: ids equal but distances differ"
+            continue
+        # Same distances in the same order, ids permuted → ties only.
+        np.testing.assert_allclose(
+            f_dist[row], g_dist[row], rtol=1e-6, atol=1e-6,
+            err_msg=f"{label} row {row}: frontier diverged from the oracle")
+        differs = f_idx[row] != g_idx[row]
+        tied = np.isclose(f_dist[row][differs], g_dist[row][differs],
+                          rtol=1e-6, atol=1e-6)
+        assert np.all(tied), \
+            f"{label} row {row}: ids differ at non-tied distances"
+
+
+@pytest.mark.parametrize("metric,dtype", ENGINE_CONFIGS)
+def test_frontier_matches_oracle_across_groups_and_shapes(
+        parity_setup, metric, dtype):
+    base, queries, adjacency = parity_setup
+    engine = DistanceEngine(metric, dtype)
+    for name, batch in _batch_shapes(queries).items():
+        # The oracle does not group, so compute it once per shape; a fresh
+        # generator with the same seed draws the identical entry sample.
+        g_idx, g_dist, g_evals = greedy_search_batch(
+            base, adjacency, batch, 5, pool_size=24,
+            seed_sample=SEED_SAMPLE, rng=np.random.default_rng(0),
+            engine=engine)
+        for max_group in MAX_GROUPS:
+            label = f"{metric}/{dtype}/{name}/max_group={max_group}"
+            f_idx, f_dist, f_evals, stats = frontier_batch_search(
+                base, adjacency, batch, 5, pool_size=24,
+                seed_sample=SEED_SAMPLE, max_group=max_group,
+                rng=np.random.default_rng(0), engine=engine)
+            _assert_rows_match(f_idx, f_dist, g_idx, g_dist, label)
+            # Cost accounting mirrors the oracle's: entry sample + own walk.
+            rows_equal = np.all(f_idx == g_idx, axis=1)
+            assert np.array_equal(f_evals[rows_equal],
+                                  g_evals[rows_equal]), label
+            # Internal consistency of the counts and the grouping record.
+            m = batch.shape[0]
+            expected_groups = -(-m // (m if max_group is None
+                                       else max_group))
+            assert f_evals.shape == (m,)
+            assert np.all(f_evals >= min(SEED_SAMPLE, base.shape[0])), label
+            assert stats.n_queries == m
+            assert stats.n_groups == expected_groups, label
+            assert sum(stats.group_sizes) == m
+            assert stats.n_rounds >= stats.n_gemms >= expected_groups
+
+
+@pytest.mark.parametrize("max_group", MAX_GROUPS)
+def test_grouping_never_changes_results(parity_setup, max_group):
+    """Every ``max_group`` returns bitwise what whole-batch merging returns."""
+    base, queries, adjacency = parity_setup
+    reference = frontier_batch_search(
+        base, adjacency, queries, 5, pool_size=24, seed_sample=SEED_SAMPLE,
+        max_group=None, rng=np.random.default_rng(3))
+    grouped = frontier_batch_search(
+        base, adjacency, queries, 5, pool_size=24, seed_sample=SEED_SAMPLE,
+        max_group=max_group, rng=np.random.default_rng(3))
+    assert np.array_equal(reference[0], grouped[0])
+    assert np.array_equal(reference[1], grouped[1])
+    assert np.array_equal(reference[2], grouped[2])
+
+
+def test_duplicate_queries_get_identical_rows(parity_setup):
+    """Identical queries in one batch must be answered identically."""
+    base, queries, adjacency = parity_setup
+    batch = np.vstack([queries[:6]] * 3)
+    idx, dist, evals, _ = frontier_batch_search(
+        base, adjacency, batch, 5, pool_size=24, seed_sample=SEED_SAMPLE,
+        max_group=7, rng=np.random.default_rng(5))
+    for row in range(6):
+        for copy in (row + 6, row + 12):
+            assert np.array_equal(idx[row], idx[copy])
+            assert np.array_equal(dist[row], dist[copy])
+            assert evals[row] == evals[copy]

@@ -387,7 +387,7 @@ class TestFrontierParity:
         m = queries.shape[0]
 
         frontier_engine = CountingEngine()
-        batch_idx, batch_dist, batch_evals = frontier_batch_search(
+        batch_idx, batch_dist, batch_evals, _ = frontier_batch_search(
             base, adjacency, queries, 10, pool_size=32,
             rng=np.random.default_rng(0), engine=frontier_engine)
 
@@ -415,7 +415,7 @@ class TestFrontierParity:
 
     def test_batch_evaluations_include_shared_gemm_rows(self, parity_setup):
         base, queries, adjacency = parity_setup
-        _, _, evals = frontier_batch_search(
+        _, _, evals, _ = frontier_batch_search(
             base, adjacency, queries, 5, pool_size=16,
             rng=np.random.default_rng(0))
         # Every query at least pays for the shared entry-point gemm row.
@@ -423,7 +423,7 @@ class TestFrontierParity:
 
     def test_sorted_results_and_padding(self, parity_setup):
         base, queries, adjacency = parity_setup
-        idx, dist, _ = frontier_batch_search(
+        idx, dist, _, _ = frontier_batch_search(
             base, adjacency, queries, 5, pool_size=16,
             rng=np.random.default_rng(0))
         finite = np.isfinite(dist)

@@ -1,12 +1,15 @@
-"""Performance regression guards for the distance engine.
+"""Performance regression guards for the distance engine and serving layer.
 
 The float32 configuration exists to halve the memory traffic of
 ``assign_to_nearest`` — the dominant kernel of the Fig. 6/7 scalability
-benchmarks.  This guard fails if a refactor ever makes the float32 path
-slower than float64 on a realistic block.  Marked ``slow`` so quick loops can
-skip it with ``-m "not slow"``.
+benchmarks — and the worker-pool mode of the frontier search exists to turn
+extra cores into serving throughput.  These guards fail if a refactor ever
+makes the float32 path slower than float64, or threads stop buying
+throughput.  Marked ``slow`` so quick loops can skip them with
+``-m "not slow"``.
 """
 
+import os
 import time
 
 import numpy as np
@@ -71,3 +74,79 @@ def test_cached_norms_not_slower_than_recomputing():
     fresh = _best_seconds(
         lambda: engine.assign_to_nearest(data, centroids))
     assert cached <= fresh * 1.25
+
+
+#: Measured in a subprocess so the BLAS thread pools can be pinned to one
+#: thread *before* the library loads — with a multithreaded BLAS the
+#: single-worker baseline already saturates the cores and the ratio measures
+#: oversubscription, not the worker pool.
+_WORKER_SCALING_SCRIPT = """
+import time
+
+import numpy as np
+
+from repro.datasets import make_sift_like, train_query_split
+from repro.graph import brute_force_knn_graph
+from repro.search import frontier_batch_search
+
+corpus = make_sift_like(4200, 192, random_state=0)
+base, queries = train_query_split(corpus, 256, random_state=0)
+adjacency = brute_force_knn_graph(base, 16).symmetrized_adjacency()
+
+
+def serve(workers):
+    return frontier_batch_search(
+        base, adjacency, queries, 10, pool_size=64, max_group=32,
+        workers=workers, rng=np.random.default_rng(0))
+
+
+results = {}
+timings = {}
+for workers in (1, 2):
+    results[workers] = serve(workers)  # warm-up (thread pools, caches)
+    best = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        serve(workers)
+        best = min(best, time.perf_counter() - started)
+    timings[workers] = best
+
+assert np.array_equal(results[1][0], results[2][0]), "neighbours diverged"
+assert np.array_equal(results[1][1], results[2][1]), "distances diverged"
+assert np.array_equal(results[1][2], results[2][2]), "eval counts diverged"
+assert timings[2] <= timings[1] / 1.2, timings
+print(f"speedup {timings[1] / timings[2]:.2f}x", timings)
+"""
+
+
+@pytest.mark.slow
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="worker scaling needs at least 2 cores")
+def test_two_worker_frontier_search_scales():
+    """2-worker batched serving must beat 1 worker by ≥1.2× on 2+ cores.
+
+    The group walks are gemm-dominated when the dimensionality is high (the
+    per-round Python bookkeeping is dimension-independent), so the workload
+    is sized d-heavy to measure the threads, not the interpreter.  Results
+    must also stay bit-for-bit identical — a speedup that changes answers is
+    a bug, not a win.
+    """
+    import subprocess
+    import sys
+
+    import repro
+
+    env = dict(os.environ)
+    for variable in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
+                     "MKL_NUM_THREADS", "VECLIB_MAXIMUM_THREADS",
+                     "NUMEXPR_NUM_THREADS"):
+        env[variable] = "1"
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+
+    completed = subprocess.run(
+        [sys.executable, "-c", _WORKER_SCALING_SCRIPT], env=env,
+        capture_output=True, text=True, timeout=600)
+    assert completed.returncode == 0, \
+        completed.stdout + "\n" + completed.stderr
+    print(completed.stdout.strip())

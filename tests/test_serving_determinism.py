@@ -1,0 +1,201 @@
+"""Determinism contract of the parallel serving layer.
+
+``workers=N`` is a pure throughput knob: the group walks share no per-query
+state, each worker mutates only its own group's rows, and the entry-point
+sample is drawn once before any grouping — so every worker count must return
+bit-for-bit identical neighbours, distances and evaluation counts.  These
+tests enforce that contract at every layer (``frontier_batch_search``,
+``GraphSearcher.batch_query``, ``Index.search``), across repeated runs with
+the same seed, and across an ``Index.save``/``load`` round-trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_sift_like, train_query_split
+from repro.exceptions import ValidationError
+from repro.graph import brute_force_knn_graph
+from repro.index import Index, IndexSpec
+from repro.search import (
+    GraphSearcher,
+    ServingStats,
+    evaluate_search,
+    frontier_batch_search,
+)
+
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    corpus = make_sift_like(800, 16, random_state=17)
+    base, queries = train_query_split(corpus, 64, random_state=17)
+    graph = brute_force_knn_graph(base, 8)
+    return base, queries, graph
+
+
+@pytest.fixture(scope="module")
+def served_index(serving_setup):
+    base, _, _ = serving_setup
+    spec = IndexSpec(backend="bruteforce", n_neighbors=8, workers=4,
+                     random_state=13)
+    return Index.build(base, spec)
+
+
+def _search_bytes(index, queries):
+    idx, dist = index.search(queries, 6)
+    evals = index.last_per_query_evaluations
+    return idx.tobytes() + dist.tobytes() + evals.tobytes()
+
+
+class TestWorkerBitwiseEquality:
+    def test_frontier_workers_bitwise_identical(self, serving_setup):
+        base, queries, graph = serving_setup
+        adjacency = graph.symmetrized_adjacency()
+        runs = {
+            workers: frontier_batch_search(
+                base, adjacency, queries, 6, pool_size=32, max_group=7,
+                workers=workers, rng=np.random.default_rng(2))
+            for workers in (1, 4)
+        }
+        one, four = runs[1], runs[4]
+        assert np.array_equal(one[0], four[0])       # neighbours
+        assert np.array_equal(one[1], four[1])       # distances
+        assert np.array_equal(one[2], four[2])       # evaluation counts
+        # The walk shape is deterministic too — only wall time may differ.
+        assert one[3].group_sizes == four[3].group_sizes
+        assert one[3].group_rounds == four[3].group_rounds
+        assert one[3].group_gemms == four[3].group_gemms
+        assert four[3].workers == 4
+
+    def test_searcher_workers_bitwise_identical(self, serving_setup):
+        base, queries, graph = serving_setup
+        searcher = GraphSearcher(base, graph, pool_size=32, random_state=0)
+        i1, d1 = searcher.batch_query(queries, 6, workers=1,
+                                      rng=np.random.default_rng(0))
+        e1 = searcher.last_per_query_evaluations.copy()
+        i4, d4 = searcher.batch_query(queries, 6, workers=4,
+                                      rng=np.random.default_rng(0))
+        e4 = searcher.last_per_query_evaluations
+        assert np.array_equal(i1, i4)
+        assert np.array_equal(d1, d4)
+        assert np.array_equal(e1, e4)
+
+    def test_index_workers_bitwise_identical(self, served_index,
+                                             serving_setup):
+        _, queries, _ = serving_setup
+        baseline = _search_bytes(served_index, queries)
+        for workers in (2, 4):
+            idx, dist = served_index.search(queries, 6, workers=workers)
+            evals = served_index.last_per_query_evaluations
+            assert idx.tobytes() + dist.tobytes() + evals.tobytes() \
+                == baseline
+            stats = served_index.last_serving_stats
+            assert stats.workers == min(workers, stats.n_groups)
+
+
+class TestSeededRepeatability:
+    def test_repeated_index_searches_byte_identical(self, served_index,
+                                                    serving_setup):
+        _, queries, _ = serving_setup
+        # spec.workers=4, spec.random_state fixed → every call identical.
+        assert _search_bytes(served_index, queries) \
+            == _search_bytes(served_index, queries)
+
+    def test_explicit_seed_repeatable_through_frontier(self, serving_setup):
+        base, queries, graph = serving_setup
+        adjacency = graph.symmetrized_adjacency()
+        runs = [frontier_batch_search(
+                    base, adjacency, queries, 6, workers=3,
+                    rng=np.random.default_rng(123)) for _ in range(2)]
+        assert runs[0][0].tobytes() == runs[1][0].tobytes()
+        assert runs[0][1].tobytes() == runs[1][1].tobytes()
+        assert runs[0][2].tobytes() == runs[1][2].tobytes()
+
+    def test_save_load_then_parallel_search_identical(self, served_index,
+                                                      serving_setup,
+                                                      tmp_path):
+        _, queries, _ = serving_setup
+        path = tmp_path / "served.idx"
+        served_index.save(path)
+        restored = Index.load(path)
+        assert restored.spec.workers == 4
+        assert _search_bytes(restored, queries) \
+            == _search_bytes(served_index, queries)
+        idx_a, _ = restored.search(queries, 6, workers=1)
+        idx_b, _ = served_index.search(queries, 6, workers=4)
+        assert np.array_equal(idx_a, idx_b)
+
+
+class TestServingStatsSurface:
+    def test_stats_describe_the_walk(self, served_index, serving_setup):
+        _, queries, _ = serving_setup
+        served_index.search(queries, 6, workers=2)
+        stats = served_index.last_serving_stats
+        assert isinstance(stats, ServingStats)
+        assert stats.n_queries == queries.shape[0]
+        assert stats.max_group == 32
+        assert stats.n_groups == len(stats.group_rounds) \
+            == len(stats.group_gemms) == len(stats.group_seconds)
+        assert sum(stats.group_sizes) == queries.shape[0]
+        assert stats.n_rounds >= stats.n_gemms >= stats.n_groups
+        assert stats.total_seconds > 0
+        assert stats.queries_per_second > 0
+
+    def test_single_query_and_perquery_strategy_leave_no_stats(
+            self, served_index, serving_setup):
+        _, queries, _ = serving_setup
+        served_index.search(queries, 4)
+        assert served_index.last_serving_stats is not None
+        served_index.search(queries[0], 4)
+        assert served_index.last_serving_stats is None
+        served_index.search(queries, 4, strategy="perquery")
+        assert served_index.last_serving_stats is None
+
+    def test_evaluate_search_surfaces_stats(self, served_index,
+                                            serving_setup):
+        _, queries, _ = serving_setup
+        evaluation = evaluate_search(served_index, queries, n_results=5,
+                                     workers=2)
+        assert evaluation.serving_stats is not None
+        assert evaluation.serving_stats.workers == 2
+        perquery = evaluate_search(served_index, queries[:8], n_results=5,
+                                   batch=False)
+        assert perquery.serving_stats is None
+
+
+class TestWorkersValidation:
+    def test_spec_workers_roundtrips_through_json(self):
+        spec = IndexSpec(backend="bruteforce", workers=8)
+        assert IndexSpec.from_json(spec.to_json()).workers == 8
+
+    def test_spec_without_workers_key_defaults_to_one(self):
+        payload = IndexSpec(backend="bruteforce").to_dict()
+        del payload["workers"]  # a pre-parallel-serving index file
+        assert IndexSpec.from_dict(payload).workers == 1
+
+    def test_spec_rejects_non_positive_workers(self):
+        with pytest.raises(ValidationError):
+            IndexSpec(backend="bruteforce", workers=0)
+
+    def test_batch_query_rejects_non_positive_workers(self, serving_setup):
+        base, queries, graph = serving_setup
+        searcher = GraphSearcher(base, graph, random_state=0)
+        with pytest.raises(ValidationError):
+            searcher.batch_query(queries[:4], 3, workers=0)
+
+    def test_frontier_rejects_non_integer_workers(self, serving_setup):
+        base, queries, graph = serving_setup
+        adjacency = graph.symmetrized_adjacency()
+        for bad in (0, 2.5):
+            with pytest.raises(ValidationError):
+                frontier_batch_search(base, adjacency, queries[:4], 3,
+                                      workers=bad,
+                                      rng=np.random.default_rng(0))
+
+    def test_workers_clamped_to_group_count(self, serving_setup):
+        base, queries, graph = serving_setup
+        adjacency = graph.symmetrized_adjacency()
+        _, _, _, stats = frontier_batch_search(
+            base, adjacency, queries[:5], 3, max_group=None, workers=16,
+            rng=np.random.default_rng(0))
+        assert stats.n_groups == 1
+        assert stats.workers == 1
