@@ -1,0 +1,85 @@
+"""Sharded-serving benchmark: throughput and recall across shard counts.
+
+Records queries/sec and recall@10 of the ``ShardedIndex`` serving path for
+``n_shards`` ∈ {1, 2, 4} (shard fan-out on as many threads as shards) into
+the bench trajectory, so the 1-shard vs S-shard comparison the ANNS probe
+makes interactively is tracked over time.  The enforced contract mirrors the
+worker benchmark's: shard fan-out parallelism must return bit-for-bit the
+sequential fan-out's answer, and sharding must never be catastrophically
+slower than the monolithic index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH
+
+from repro.datasets import make_sift_like, train_query_split
+from repro.graph.bruteforce import brute_force_neighbors
+from repro.index import IndexSpec, build_index
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: queries/sec per shard count, for the cross-row soft guard.
+_RECORDED: dict = {}
+
+
+@pytest.fixture(scope="module")
+def sharded_setup():
+    corpus = make_sift_like(BENCH.n_samples, BENCH.n_features,
+                            random_state=BENCH.random_state)
+    base, queries = train_query_split(corpus, 256,
+                                      random_state=BENCH.random_state)
+    exact_idx, _ = brute_force_neighbors(queries, base, 10)
+    spec = IndexSpec(backend="gkmeans", n_neighbors=BENCH.n_neighbors,
+                     pool_size=64, random_state=BENCH.random_state,
+                     params={"tau": BENCH.graph_tau,
+                             "cluster_size": BENCH.cluster_size})
+    indexes = {
+        n_shards: build_index(base, spec.replace(n_shards=n_shards))
+        for n_shards in SHARD_COUNTS
+    }
+    return indexes, queries, exact_idx
+
+
+def _recall(indices: np.ndarray, exact_idx: np.ndarray) -> float:
+    hits = sum(len(set(map(int, row)) & set(map(int, truth))) / truth.size
+               for row, truth in zip(indices, exact_idx))
+    return hits / exact_idx.shape[0]
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_sharded_throughput(benchmark, sharded_setup, n_shards):
+    indexes, queries, exact_idx = sharded_setup
+    index = indexes[n_shards]
+    kwargs = {} if n_shards == 1 else {"shard_workers": n_shards}
+    indices, distances = benchmark.pedantic(
+        lambda: index.search(queries, 10, **kwargs),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+    queries_per_second = queries.shape[0] / benchmark.stats.stats.min
+    recall = _recall(indices, exact_idx)
+    benchmark.extra_info["n_shards"] = n_shards
+    benchmark.extra_info["queries_per_second"] = round(queries_per_second, 1)
+    benchmark.extra_info["recall_at_10"] = round(recall, 4)
+    benchmark.extra_info["build_seconds"] = round(index.build_seconds, 3)
+    print(f"\nn_shards={n_shards}: {queries_per_second:,.0f} queries/s, "
+          f"recall@10={recall:.3f}")
+
+    # Sharding trades per-shard graph locality for fan-out, not correctness:
+    # recall stays high and the fan-out level never changes the answer.
+    assert recall >= 0.8
+    if n_shards > 1:
+        sequential = index.search(queries, 10, shard_workers=1)
+        assert np.array_equal(indices, sequential[0])
+        assert np.array_equal(distances, sequential[1])
+        stats = index.last_serving_stats
+        assert stats.n_shards == n_shards
+    # Every shard walks the full batch, so S-shard serving costs at most ~S×
+    # the monolithic walk on one core; the bound below only catches
+    # catastrophic regressions, not scheduler noise on shared runners.
+    _RECORDED[n_shards] = queries_per_second
+    if SHARD_COUNTS[0] in _RECORDED:
+        assert queries_per_second >= 0.1 * _RECORDED[SHARD_COUNTS[0]]

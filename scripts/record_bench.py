@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Record the serving benchmarks into the bench trajectory.
+
+Runs the serving-throughput benchmarks (worker scaling and shard scaling)
+under pytest-benchmark, then condenses the raw timing report into the repo's
+compact trajectory format — one JSON document per suite, committed or
+uploaded as ``BENCH_<suite>.json`` — so perf changes stay visible over time
+instead of dying with each CI run.
+
+Repo bench-trajectory format (``schema: bench-trajectory-v1``)::
+
+    {
+      "schema": "bench-trajectory-v1",
+      "suite": "serving",
+      "commit": "<git sha or null>",
+      "timestamp": "<UTC ISO-8601>",
+      "machine": {"python": "...", "cpu_count": N},
+      "results": [
+        {"name": "<test id>", "min_seconds": ..., "mean_seconds": ...,
+         "stddev_seconds": ..., "rounds": N,
+         "params": {...}, "extra": {<benchmark.extra_info>}},
+        ...
+      ]
+    }
+
+Usage::
+
+    python scripts/record_bench.py --out BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Benchmark files of the "serving" suite, relative to the repo root.
+SERVING_BENCHMARKS = (
+    "benchmarks/test_serving_throughput.py",
+    "benchmarks/test_sharded_throughput.py",
+)
+
+
+def git_commit() -> str | None:
+    """Current commit sha (``-dirty`` suffixed when the tree has edits).
+
+    The suffix keeps locally recorded snapshots honest: a dirty-tree run
+    measures code that is not exactly the named commit.  CI runs on clean
+    checkouts and records the exact sha.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT, capture_output=True,
+            text=True, check=True, timeout=30)
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True, timeout=30)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    if not sha:
+        return None
+    return sha + "-dirty" if status.stdout.strip() else sha
+
+
+def run_benchmarks(files, raw_json_path: str) -> int:
+    """Run the benchmark files, writing pytest-benchmark's raw JSON."""
+    command = [
+        sys.executable, "-m", "pytest", "-q", *files,
+        "--benchmark-json", raw_json_path,
+    ]
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    return subprocess.run(command, cwd=REPO_ROOT, env=env).returncode
+
+
+def condense(raw: dict, suite: str) -> dict:
+    """pytest-benchmark's raw report -> the repo trajectory format."""
+    results = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        results.append({
+            "name": bench.get("name"),
+            "min_seconds": stats.get("min"),
+            "mean_seconds": stats.get("mean"),
+            "stddev_seconds": stats.get("stddev"),
+            "rounds": stats.get("rounds"),
+            "params": bench.get("params") or {},
+            "extra": bench.get("extra_info") or {},
+        })
+    machine = raw.get("machine_info") or {}
+    return {
+        "schema": "bench-trajectory-v1",
+        "suite": suite,
+        "commit": git_commit(),
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "python": machine.get("python_version"),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="record the serving benchmarks into BENCH_serving.json")
+    parser.add_argument("--out", default="BENCH_serving.json",
+                        help="trajectory file to write (repo format)")
+    parser.add_argument("--suite", default="serving",
+                        help="suite name recorded in the document")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = os.path.join(tmp, "raw.json")
+        code = run_benchmarks(SERVING_BENCHMARKS, raw_path)
+        if code != 0:
+            print(f"error: benchmark run failed with exit code {code}",
+                  file=sys.stderr)
+            return code
+        with open(raw_path) as stream:
+            raw = json.load(stream)
+
+    document = condense(raw, args.suite)
+    if not document["results"]:
+        print("error: benchmark run produced no results", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {len(document['results'])} benchmark results "
+          f"to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,7 +49,7 @@ from .graph import (
     nn_descent_knn_graph,
 )
 from .search import GraphSearcher
-from .index import Index, IndexSpec
+from .index import Index, IndexSpec, ShardedIndex, build_index, load_index
 from .exceptions import (
     DatasetError,
     GraphError,
@@ -84,6 +84,9 @@ __all__ = [
     "GraphSearcher",
     "Index",
     "IndexSpec",
+    "ShardedIndex",
+    "build_index",
+    "load_index",
     "ReproError",
     "ValidationError",
     "NotFittedError",

@@ -29,7 +29,15 @@ from .distance import METRICS
 from .experiments import render_series, render_table
 from .experiments.config import DEFAULT, LARGE, SMALL, ExperimentScale
 from .experiments.runner import available_methods, run_method
-from .index import Index, IndexSpec, available_backends
+from .exceptions import ValidationError
+from .index import (
+    PARTITIONERS,
+    IndexSpec,
+    ShardedIndex,
+    available_backends,
+    build_index,
+    load_index,
+)
 from .search import evaluate_search
 
 __all__ = ["main", "build_parser"]
@@ -113,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--workers", type=int, default=1,
                        help="default worker threads for batched searches "
                             "served by the index (persisted in the spec)")
+    build.add_argument("--shards", type=int, default=1,
+                       help="number of horizontal shards; >1 builds a "
+                            "sharded index saved as a directory")
+    build.add_argument("--partitioner", choices=sorted(PARTITIONERS),
+                       default="round_robin",
+                       help="how rows are dealt to shards: round_robin "
+                            "(balanced) or gkmeans (nearest of S coarse "
+                            "centroids)")
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--tau", type=int, default=None,
                        help="gkmeans backend: construction rounds")
@@ -135,6 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker threads for the batched frontier walk "
                              "(default: the index spec's setting; results "
                              "are identical for every worker count)")
+    search.add_argument("--shard-workers", type=int, default=None,
+                        help="threads the shard fan-out of a sharded index "
+                             "runs on (ignored for single-file indexes; "
+                             "results are identical at every level)")
     search.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list", help="list datasets, methods and experiments")
@@ -162,25 +182,35 @@ def _run_build(args) -> int:
     spec = IndexSpec(backend=args.backend, n_neighbors=args.n_neighbors,
                      metric=args.metric, dtype=args.dtype,
                      pool_size=args.pool_size, workers=args.workers,
+                     n_shards=args.shards, partitioner=args.partitioner,
                      random_state=args.seed, params=_build_params(args))
-    index = Index.build(data, spec)
+    index = build_index(data, spec)
     index.save(args.out)
-    print(render_table([{
+    row = {
         "backend": args.backend,
         "dataset": args.dataset,
         "n": index.n_points,
         "d": index.n_features,
-        "kappa": index.graph.n_neighbors,
         "metric": index.metric,
         "dtype": index.spec.dtype,
         "build_seconds": index.build_seconds,
         "out": args.out,
-    }]))
+    }
+    if spec.n_shards > 1:
+        row.update(shards=index.n_shards, partitioner=spec.partitioner)
+    else:
+        row.update(kappa=index.graph.n_neighbors)
+    print(render_table([row]))
     return 0
 
 
 def _run_search(args) -> int:
-    index = Index.load(args.index)
+    try:
+        index = load_index(args.index)
+    except (ValidationError, FileNotFoundError) as exc:
+        print(f"error: cannot load index {args.index!r}: {exc}",
+              file=sys.stderr)
+        return 2
     if args.queries is not None:
         queries = np.load(args.queries)
         source = args.queries
@@ -190,9 +220,12 @@ def _run_search(args) -> int:
         rows = rng.choice(index.n_points, size=n_queries, replace=False)
         queries = index.data[rows]
         source = f"{n_queries} indexed rows (self-queries)"
+    shard_workers = (args.shard_workers
+                     if isinstance(index, ShardedIndex) else None)
     evaluation = evaluate_search(index, queries, n_results=args.k,
                                  pool_size=args.pool_size,
-                                 workers=args.workers)
+                                 workers=args.workers,
+                                 shard_workers=shard_workers)
     print(f"index:   {index!r}")
     print(f"queries: {source}")
     row = {
@@ -207,6 +240,9 @@ def _run_search(args) -> int:
         row.update(workers=stats.workers, groups=stats.n_groups,
                    rounds=stats.n_rounds, gemms=stats.n_gemms,
                    qps=stats.queries_per_second)
+        if getattr(stats, "n_shards", 1) > 1:
+            row.update(shards=stats.n_shards,
+                       shard_workers=stats.shard_workers)
     print(render_table([row]))
     return 0
 

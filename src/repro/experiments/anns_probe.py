@@ -14,7 +14,7 @@ under-reported.
 from __future__ import annotations
 
 from ..datasets import make_sift_like, train_query_split
-from ..index import Index, IndexSpec
+from ..index import IndexSpec, build_index
 from ..search import evaluate_search
 from .config import DEFAULT, ExperimentScale
 
@@ -23,13 +23,19 @@ __all__ = ["run"]
 
 def run(scale: ExperimentScale = DEFAULT, *, n_queries: int = 100,
         n_results: int = 10, pool_size: int = 48,
-        workers: int = 1) -> dict:
+        workers: int = 1, n_shards: int = 1,
+        partitioner: str = "round_robin") -> dict:
     """Run the ANNS probe; returns a per-graph-builder result table.
 
     ``workers`` spreads the frontier-merged batch walk over that many
     threads — a pure throughput knob (results are bit-for-bit identical for
     every worker count), so the reported recalls and evaluation counts do
     not depend on it.
+
+    ``n_shards > 1`` additionally builds an ``n_shards``-way
+    :class:`~repro.index.ShardedIndex` per backend (partitioned by
+    ``partitioner``) and reports its row next to the monolithic one, so a
+    single probe run compares 1-shard vs S-shard recall/qps.
     """
     corpus = make_sift_like(scale.n_samples, scale.n_features,
                             random_state=scale.random_state)
@@ -52,21 +58,30 @@ def run(scale: ExperimentScale = DEFAULT, *, n_queries: int = 100,
             params={"tau": scale.graph_tau,
                     "cluster_size": scale.cluster_size})
 
+    shard_counts = [1] if n_shards <= 1 else [1, n_shards]
     rows = []
     for name, spec in sorted(specs.items()):
-        index = Index.build(base, spec)
-        evaluation = evaluate_search(index, queries, n_results=n_results,
-                                     workers=workers)
-        stats = evaluation.serving_stats
-        rows.append({
-            "graph": name,
-            "recall@1": evaluation.recall_at_1,
-            f"recall@{n_results}": evaluation.recall_at_k,
-            "query_ms": evaluation.mean_query_seconds * 1000.0,
-            "distance_evals": evaluation.mean_distance_evaluations,
-            "build_seconds": index.build_seconds,
-            "qps": None if stats is None else stats.queries_per_second,
-        })
+        for shards in shard_counts:
+            index = build_index(base, spec.replace(n_shards=shards,
+                                                   partitioner=partitioner))
+            # Sharded rows fan out across all shards so the reported qps
+            # measures parallel sharded serving (results are identical at
+            # every fan-out level).
+            evaluation = evaluate_search(
+                index, queries, n_results=n_results, workers=workers,
+                shard_workers=None if shards == 1 else shards)
+            stats = evaluation.serving_stats
+            label = name if shards == 1 else f"{name} × {shards} shards"
+            rows.append({
+                "graph": label,
+                "shards": shards,
+                "recall@1": evaluation.recall_at_1,
+                f"recall@{n_results}": evaluation.recall_at_k,
+                "query_ms": evaluation.mean_query_seconds * 1000.0,
+                "distance_evals": evaluation.mean_distance_evaluations,
+                "build_seconds": index.build_seconds,
+                "qps": None if stats is None else stats.queries_per_second,
+            })
     return {
         "table": rows,
         "metadata": {
@@ -75,6 +90,8 @@ def run(scale: ExperimentScale = DEFAULT, *, n_queries: int = 100,
             "n_neighbors": scale.n_neighbors,
             "pool_size": pool_size,
             "workers": workers,
+            "n_shards": n_shards,
+            "partitioner": partitioner,
             "search": "frontier-merged batch",
         },
     }

@@ -7,8 +7,6 @@ distortion of the evolving clustering against the round index τ on SIFT100K.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..datasets import make_sift_like
 from ..graph import brute_force_knn_graph, build_knn_graph_by_clustering
 from .config import DEFAULT, ExperimentScale

@@ -8,8 +8,6 @@ generators).
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..datasets import DATASET_REGISTRY
 from .config import DEFAULT, ExperimentScale
 

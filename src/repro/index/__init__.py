@@ -13,10 +13,18 @@ search and evaluation — collapse into::
 
 See :class:`~repro.index.spec.IndexSpec` for the full recipe surface and
 :func:`~repro.index.spec.register_builder` for adding construction backends.
+
+Horizontal scale-out lives in :mod:`repro.index.sharded`: a spec with
+``n_shards > 1`` builds a :class:`~repro.index.sharded.ShardedIndex` — one
+sub-index per partition, shard-parallel build and batch search, per-shard
+top-k merged by true distance — behind the same build/search/save/load
+surface (:func:`~repro.index.sharded.build_index` and
+:func:`~repro.index.sharded.load_index` dispatch automatically).
 """
 
 from .spec import (
     BUILDERS,
+    PARTITIONERS,
     BuilderEntry,
     IndexSpec,
     available_backends,
@@ -24,13 +32,30 @@ from .spec import (
 )
 from . import backends as _backends  # noqa: F401  (populates BUILDERS)
 from .facade import FORMAT_VERSION, Index
+from .sharded import (
+    MANIFEST_NAME,
+    SHARDED_FORMAT_VERSION,
+    ShardedIndex,
+    ShardedServingStats,
+    build_index,
+    load_index,
+    partition_dataset,
+)
 
 __all__ = [
     "Index",
+    "ShardedIndex",
+    "ShardedServingStats",
     "IndexSpec",
     "BUILDERS",
+    "PARTITIONERS",
     "BuilderEntry",
     "available_backends",
     "register_builder",
+    "build_index",
+    "load_index",
+    "partition_dataset",
     "FORMAT_VERSION",
+    "SHARDED_FORMAT_VERSION",
+    "MANIFEST_NAME",
 ]

@@ -167,6 +167,11 @@ class Index:
             spec = IndexSpec(**overrides)
         elif overrides:
             spec = spec.replace(**overrides)
+        if spec.n_shards > 1:
+            raise ValidationError(
+                f"spec requests n_shards={spec.n_shards}; a monolithic "
+                "Index serves exactly one shard — use ShardedIndex.build "
+                "or repro.index.build_index for sharded construction")
         engine = DistanceEngine(spec.metric, spec.dtype)
         data = check_data_matrix(data, min_samples=2, dtype=engine.dtype)
         check_positive_int(spec.n_neighbors, name="n_neighbors",

@@ -1,0 +1,575 @@
+"""Horizontally sharded ANN serving: S sub-indexes behind one ``Index`` API.
+
+The natural scale-out step after the thread-parallel frontier walk is the
+shard-then-merge decomposition used by every large-scale ANN system: split
+the dataset into ``n_shards`` partitions, build one
+:class:`~repro.index.facade.Index` per partition (builds are independent, so
+they run on a worker pool), and serve a query batch by fanning the
+frontier-merged walk out across the shards and merging the per-shard top-k
+by true distance.
+
+Two partitioners are supported (see
+:data:`~repro.index.spec.PARTITIONERS`): ``round_robin`` deals rows out in
+order — balanced shards, no build-time cost — while ``gkmeans`` runs a
+coarse ``n_shards``-way k-means and routes each vector to its nearest
+centroid, so a query's true neighbours concentrate in few shards and each
+shard's sub-graph stays locally dense.
+
+The PR 3 determinism contract extends verbatim: every shard's walk is a
+seeded deterministic function of its own data, the merge is a stable sort of
+the per-shard results in shard order, and no state is shared across shards —
+so ``shard_workers`` (like ``workers`` inside each shard) is a pure
+throughput knob, and a :meth:`ShardedIndex.load` round-trip serves
+bit-for-bit identical results at every shard-parallelism level.
+
+Persistence is one directory::
+
+    corpus.shards/
+      manifest.npz      format version, spec JSON, global row id per shard
+      shard_0000.idx    Index NPZ of shard 0 (rows shard_ids[0])
+      shard_0001.idx    ...
+
+written atomically (a temp directory is renamed into place) and validated on
+load — a missing shard file, a foreign manifest or an id map that is not a
+permutation of the dataset rows all raise
+:class:`~repro.exceptions.ValidationError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+import zipfile
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster import KMeans
+from ..distance import DistanceEngine
+from ..exceptions import ValidationError
+from ..validation import (
+    check_data_matrix,
+    check_positive_int,
+    check_random_state,
+)
+from .facade import Index
+from .spec import IndexSpec, PARTITIONERS
+
+__all__ = ["ShardedIndex", "ShardedServingStats", "SHARDED_FORMAT_VERSION",
+           "MANIFEST_NAME", "partition_dataset", "build_index", "load_index"]
+
+#: Version of the sharded directory layout.
+SHARDED_FORMAT_VERSION = 1
+
+#: File name of the manifest NPZ inside a sharded index directory.
+MANIFEST_NAME = "manifest.npz"
+
+_MANIFEST_KEYS = ("sharded_format_version", "spec_json", "shard_ids",
+                  "shard_offsets")
+
+#: Lloyd iterations of the coarse partitioning k-means — the partition only
+#: has to be locality-preserving, not optimal, so a short run suffices.
+_PARTITION_ITER = 10
+
+
+def _shard_name(shard: int) -> str:
+    return f"shard_{shard:04d}.idx"
+
+
+def partition_dataset(data: np.ndarray, n_shards: int, partitioner: str, *,
+                      metric: str = "sqeuclidean", dtype="float64",
+                      random_state=0) -> list[np.ndarray]:
+    """Split ``data`` into ``n_shards`` row-id groups.
+
+    Returns one sorted ``(n_s,)`` int64 array of global row ids per shard;
+    together the arrays form a permutation of ``arange(len(data))``.  The
+    assignment is deterministic in ``random_state``.
+
+    Raises :class:`~repro.exceptions.ValidationError` when the partitioner is
+    unknown or when any shard would receive fewer than 2 points (too few to
+    index) — use fewer shards or the balanced ``round_robin`` partitioner.
+    """
+    n = data.shape[0]
+    n_shards = check_positive_int(n_shards, name="n_shards", maximum=n // 2)
+    if partitioner not in PARTITIONERS:
+        raise ValidationError(
+            f"unknown partitioner {partitioner!r}; expected one of "
+            f"{list(PARTITIONERS)}")
+    if n_shards == 1:
+        return [np.arange(n, dtype=np.int64)]
+    if partitioner == "round_robin":
+        return [np.arange(shard, n, n_shards, dtype=np.int64)
+                for shard in range(n_shards)]
+    # The coarse split only needs locality, not the serving metric's
+    # geometry — metrics without a k-means structure (dot) fall back to the
+    # squared-Euclidean partition.
+    coarse_metric = metric if metric in ("sqeuclidean", "cosine") \
+        else "sqeuclidean"
+    coarse = KMeans(n_shards, init="k-means++", max_iter=_PARTITION_ITER,
+                    random_state=check_random_state(random_state),
+                    metric=coarse_metric, dtype=dtype)
+    labels = coarse.fit(data).labels_
+    shard_ids = [np.flatnonzero(labels == shard).astype(np.int64)
+                 for shard in range(n_shards)]
+    starved = [shard for shard, ids in enumerate(shard_ids) if ids.size < 2]
+    if starved:
+        raise ValidationError(
+            f"gkmeans partitioner left shards {starved} with fewer than 2 "
+            f"points (n={n}, n_shards={n_shards}); use fewer shards or the "
+            "round_robin partitioner")
+    return shard_ids
+
+
+@dataclass(frozen=True)
+class ShardedServingStats:
+    """Combined execution profile of one sharded batch search.
+
+    Aggregates the per-shard :class:`~repro.search.frontier.ServingStats`
+    into one record with the same summary surface (``workers``,
+    ``n_groups``, ``n_rounds``, ``n_gemms``, ``queries_per_second``), so
+    tables and probes render sharded and monolithic serving uniformly.
+
+    Attributes
+    ----------
+    n_shards:
+        Number of shards the batch fanned out to.
+    shard_workers:
+        Threads the shard fan-out ran on (clamped to the shard count).
+        Purely a throughput knob — results are identical at every level.
+    n_queries:
+        Number of queries served (every shard sees the full batch).
+    shard_stats:
+        Per-shard :class:`~repro.search.frontier.ServingStats`, in shard
+        order.
+    total_seconds:
+        Wall-clock time of the whole sharded call, merge included.
+    """
+
+    n_shards: int
+    shard_workers: int
+    n_queries: int
+    shard_stats: tuple = ()
+    total_seconds: float = 0.0
+
+    @property
+    def workers(self) -> int:
+        """Largest per-shard frontier worker count (the in-shard knob)."""
+        return max((stats.workers for stats in self.shard_stats), default=1)
+
+    @property
+    def n_groups(self) -> int:
+        """Total walked query groups across shards."""
+        return int(sum(stats.n_groups for stats in self.shard_stats))
+
+    @property
+    def n_rounds(self) -> int:
+        """Total walk rounds across shards."""
+        return int(sum(stats.n_rounds for stats in self.shard_stats))
+
+    @property
+    def n_gemms(self) -> int:
+        """Total frontier gemms issued across shards."""
+        return int(sum(stats.n_gemms for stats in self.shard_stats))
+
+    @property
+    def queries_per_second(self) -> float:
+        """Serving throughput of this call (0.0 for an instantaneous call)."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.n_queries / self.total_seconds
+
+
+class ShardedIndex:
+    """``n_shards`` sub-indexes served and persisted as one index.
+
+    Construct with :meth:`build` (partitions the dataset, builds one
+    :class:`~repro.index.facade.Index` per shard on a worker pool) or
+    :meth:`load`; the raw constructor accepts pre-built shards for advanced
+    use.  The API mirrors ``Index`` — ``search`` serves 1-D queries and 2-D
+    batches, ``save``/``load`` round-trip the full serving state, and
+    searches are deterministic under ``spec.random_state`` — so everything
+    that consumes an ``Index`` (``evaluate_search``, the CLI, the probes)
+    accepts a ``ShardedIndex`` unchanged.
+
+    Attributes
+    ----------
+    spec:
+        The sharded :class:`~repro.index.spec.IndexSpec`
+        (``spec.n_shards >= 1``).
+    shards:
+        The per-shard ``Index`` objects, in shard order.
+    shard_ids:
+        Per-shard ``(n_s,)`` global row ids: ``shards[s].data`` is
+        ``data[shard_ids[s]]``.
+    build_seconds:
+        Wall-clock construction time — partitioning plus the pooled shard
+        builds (``None`` for loaded indexes).
+    """
+
+    def __init__(self, shards: list, shard_ids: list, spec: IndexSpec, *,
+                 build_seconds: float | None = None) -> None:
+        if not isinstance(spec, IndexSpec):
+            raise ValidationError(
+                f"spec must be an IndexSpec, got {type(spec).__name__}")
+        if len(shards) != spec.n_shards:
+            raise ValidationError(
+                f"spec declares {spec.n_shards} shards but {len(shards)} "
+                "were given")
+        if len(shard_ids) != len(shards):
+            raise ValidationError(
+                f"{len(shards)} shards but {len(shard_ids)} id groups")
+        total = 0
+        for shard, (index, ids) in enumerate(zip(shards, shard_ids)):
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.ndim != 1 or ids.size != index.n_points:
+                raise ValidationError(
+                    f"shard {shard} indexes {index.n_points} points but its "
+                    f"id map has shape {ids.shape}")
+            total += ids.size
+        merged = np.concatenate([np.asarray(ids, dtype=np.int64)
+                                 for ids in shard_ids])
+        if not np.array_equal(np.sort(merged), np.arange(total)):
+            raise ValidationError(
+                "shard id maps must form a permutation of the dataset rows "
+                f"0..{total - 1}")
+        self.spec = spec
+        self.shards = list(shards)
+        self.shard_ids = [np.asarray(ids, dtype=np.int64)
+                          for ids in shard_ids]
+        self.build_seconds = build_seconds
+        self._data: np.ndarray | None = None
+        self.last_per_query_evaluations: np.ndarray | None = None
+        self.last_n_evaluations = 0
+        self.last_serving_stats: ShardedServingStats | None = None
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    @property
+    def n_points(self) -> int:
+        """Total number of indexed vectors across shards."""
+        return sum(index.n_points for index in self.shards)
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the indexed vectors."""
+        return self.shards[0].n_features
+
+    @property
+    def metric(self) -> str:
+        """Canonical metric name the index scores queries under."""
+        return self.shards[0].metric
+
+    @property
+    def engine_(self):
+        """The shards' shared :class:`~repro.distance.DistanceEngine`."""
+        return self.shards[0].engine_
+
+    @property
+    def data(self) -> np.ndarray:
+        """``(n, d)`` indexed vectors, reassembled in original row order."""
+        if self._data is None:
+            first = self.shards[0].data
+            data = np.empty((self.n_points, self.n_features),
+                            dtype=first.dtype)
+            for ids, index in zip(self.shard_ids, self.shards):
+                data[ids] = index.data
+            self._data = data
+        return self._data
+
+    @property
+    def shard_sizes(self) -> tuple:
+        """Per-shard point counts, in shard order."""
+        return tuple(index.n_points for index in self.shards)
+
+    def __len__(self) -> int:
+        return self.n_points
+
+    def __repr__(self) -> str:
+        return (f"ShardedIndex(backend={self.spec.backend!r}, "
+                f"n_shards={self.n_shards}, n={self.n_points}, "
+                f"d={self.n_features}, "
+                f"partitioner={self.spec.partitioner!r}, "
+                f"metric={self.metric!r}, dtype={self.spec.dtype!r})")
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, data: np.ndarray, spec: IndexSpec | None = None, *,
+              build_workers: int | None = None,
+              **overrides) -> "ShardedIndex":
+        """Partition ``data`` and build one sub-index per shard.
+
+        ``overrides`` are :class:`~repro.index.spec.IndexSpec` fields applied
+        on top of ``spec``, exactly as in ``Index.build``.  The shard builds
+        are independent seeded computations, so they run on a
+        ``build_workers``-thread pool (default: one thread per shard, capped
+        at the CPU count) without changing the result.
+
+        Shards whose point count cannot support the spec's graph width get a
+        clamped ``n_neighbors`` (``shard_size - 1``); the serving results
+        still cover the full dataset.
+        """
+        if spec is None:
+            spec = IndexSpec(**overrides)
+        elif overrides:
+            spec = spec.replace(**overrides)
+        started = time.perf_counter()
+        # Cast once to the engine dtype (as Index.build does) so the shard
+        # slices are taken from an already-converted matrix instead of
+        # materializing a float64 copy of a float32 corpus.
+        engine = DistanceEngine(spec.metric, spec.dtype)
+        data = check_data_matrix(data, min_samples=2 * spec.n_shards,
+                                 dtype=engine.dtype)
+        shard_ids = partition_dataset(
+            data, spec.n_shards, spec.partitioner, metric=spec.metric,
+            dtype=spec.dtype, random_state=spec.random_state)
+        if build_workers is None:
+            build_workers = min(len(shard_ids), os.cpu_count() or 1)
+        build_workers = check_positive_int(build_workers,
+                                           name="build_workers")
+
+        def build_shard(ids: np.ndarray) -> Index:
+            shard_spec = spec.replace(
+                n_shards=1,
+                n_neighbors=min(spec.n_neighbors, ids.size - 1))
+            return Index.build(data[ids], shard_spec)
+
+        if build_workers == 1 or len(shard_ids) == 1:
+            shards = [build_shard(ids) for ids in shard_ids]
+        else:
+            with ThreadPoolExecutor(max_workers=build_workers) as executor:
+                shards = list(executor.map(build_shard, shard_ids))
+        return cls(shards, shard_ids, spec,
+                   build_seconds=time.perf_counter() - started)
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def search(self, queries: np.ndarray, n_results: int = 10, *,
+               pool_size: int | None = None, strategy: str | None = None,
+               workers: int | None = None, shard_workers: int | None = None,
+               random_state=None) -> tuple[np.ndarray, np.ndarray]:
+        """Serve one query or a batch by fanning out across all shards.
+
+        Every shard searches the full batch (its own rows only), then the
+        per-shard top-k are merged by true distance into the global top-k.
+        Parameters match :meth:`Index.search <repro.index.facade.Index.search>`
+        plus ``shard_workers`` — the threads the shard fan-out runs on
+        (default 1, clamped to the shard count).  Both ``workers`` (inside
+        each shard) and ``shard_workers`` (across shards) are pure throughput
+        knobs: results are bit-for-bit identical at every level.
+
+        Returns ``(indices, distances)`` in global row ids, shaped exactly
+        like the monolithic index's output.
+        """
+        single = np.asarray(queries).ndim == 1
+        n_results = check_positive_int(n_results, name="n_results",
+                                       maximum=self.n_points)
+        shard_workers = 1 if shard_workers is None else check_positive_int(
+            shard_workers, name="shard_workers")
+        shard_workers = min(shard_workers, self.n_shards)
+        seed = self.spec.random_state if random_state is None else random_state
+        started = time.perf_counter()
+
+        def search_shard(shard: int) -> tuple:
+            index = self.shards[shard]
+            shard_k = min(n_results, index.n_points)
+            if single:
+                idx, dist = index.search(queries, shard_k,
+                                         pool_size=pool_size,
+                                         random_state=seed)
+                idx, dist = idx[None, :], dist[None, :]
+            else:
+                idx, dist = index.search(queries, shard_k,
+                                         pool_size=pool_size,
+                                         strategy=strategy, workers=workers,
+                                         random_state=seed)
+            reached = idx >= 0
+            ids = np.where(reached, self.shard_ids[shard][np.where(
+                reached, idx, 0)], -1)
+            return (ids, dist, index.last_per_query_evaluations.copy(),
+                    index.last_serving_stats)
+
+        # Shards share no state and each is internally deterministic, so the
+        # fan-out order cannot influence the merged output.
+        if shard_workers == 1:
+            parts = [search_shard(shard) for shard in range(self.n_shards)]
+        else:
+            with ThreadPoolExecutor(max_workers=shard_workers) as executor:
+                parts = list(executor.map(search_shard,
+                                          range(self.n_shards)))
+
+        all_ids = np.concatenate([part[0] for part in parts], axis=1)
+        all_dist = np.concatenate([part[1] for part in parts], axis=1)
+        m = all_ids.shape[0]
+        # Stable sort on distance: ties keep shard-then-rank order, so the
+        # merge is deterministic and independent of shard_workers.  Unreached
+        # entries are (-1, inf) pairs, so they sort last and become the
+        # output padding; the per-shard widths sum to >= n_results.
+        order = np.argsort(all_dist, axis=1, kind="stable")[:, :n_results]
+        out_idx = np.take_along_axis(all_ids, order, axis=1)
+        out_dist = np.take_along_axis(all_dist, order, axis=1)
+
+        evaluations = np.sum([part[2] for part in parts], axis=0,
+                             dtype=np.int64)
+        self.last_per_query_evaluations = evaluations
+        self.last_n_evaluations = int(evaluations.sum())
+        shard_stats = tuple(part[3] for part in parts)
+        if single or any(stats is None for stats in shard_stats):
+            self.last_serving_stats = None
+        else:
+            self.last_serving_stats = ShardedServingStats(
+                n_shards=self.n_shards, shard_workers=shard_workers,
+                n_queries=m, shard_stats=shard_stats,
+                total_seconds=time.perf_counter() - started)
+        if single:
+            return out_idx[0], out_dist[0]
+        return out_idx, out_dist
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Serialize the sharded index into one directory.
+
+        Writes the manifest NPZ plus one ``Index`` NPZ per shard into a
+        temporary directory next to ``path`` and renames it into place, so a
+        crash mid-save never leaves a half-written index at ``path``.
+        """
+        path = os.fspath(path)
+        parent = os.path.dirname(path) or "."
+        offsets = np.cumsum([0] + [ids.size for ids in self.shard_ids])
+        tmp_dir = tempfile.mkdtemp(dir=parent, prefix=".sharded.tmp")
+        try:
+            for shard, index in enumerate(self.shards):
+                index.save(os.path.join(tmp_dir, _shard_name(shard)))
+            manifest = {
+                "sharded_format_version": np.int64(SHARDED_FORMAT_VERSION),
+                "spec_json": np.asarray(self.spec.to_json()),
+                "shard_ids": np.concatenate(self.shard_ids),
+                "shard_offsets": offsets.astype(np.int64),
+            }
+            with open(os.path.join(tmp_dir, MANIFEST_NAME), "wb") as stream:
+                np.savez(stream, **manifest)
+            if os.path.lexists(path):
+                # Swap the finished directory for whatever occupies the
+                # target — a previous sharded directory or a single-file
+                # index — keeping the old artifact recoverable until the
+                # new one is in place.
+                backup = tempfile.mkdtemp(dir=parent, prefix=".sharded.old")
+                os.rmdir(backup)
+                os.rename(path, backup)
+                try:
+                    os.rename(tmp_dir, path)
+                except BaseException:
+                    os.rename(backup, path)
+                    raise
+                if os.path.isdir(backup) and not os.path.islink(backup):
+                    shutil.rmtree(backup)
+                else:
+                    os.unlink(backup)
+            else:
+                os.rename(tmp_dir, path)
+        except BaseException:
+            if os.path.isdir(tmp_dir):
+                shutil.rmtree(tmp_dir, ignore_errors=True)
+            raise
+
+    @classmethod
+    def load(cls, path) -> "ShardedIndex":
+        """Restore a sharded index saved by :meth:`save`.
+
+        Raises :class:`~repro.exceptions.ValidationError` when ``path`` is
+        not a sharded index directory, the manifest is missing/foreign, a
+        shard file is absent or corrupt, or the id map does not cover the
+        dataset.
+        """
+        path = os.fspath(path)
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        if not os.path.isdir(path) or not os.path.exists(manifest_path):
+            raise ValidationError(
+                f"{path!r} is not a sharded index directory (no "
+                f"{MANIFEST_NAME}); single-file indexes load via Index.load")
+        try:
+            with np.load(manifest_path, allow_pickle=False) as archive:
+                missing = [key for key in _MANIFEST_KEYS
+                           if key not in archive.files]
+                if missing:
+                    raise ValidationError(
+                        f"sharded index manifest {manifest_path!r} is "
+                        f"missing keys {missing}")
+                version = int(archive["sharded_format_version"])
+                if version != SHARDED_FORMAT_VERSION:
+                    raise ValidationError(
+                        f"sharded index {path!r} has format version "
+                        f"{version}, this build reads version "
+                        f"{SHARDED_FORMAT_VERSION}")
+                spec = IndexSpec.from_json(str(archive["spec_json"]))
+                merged_ids = archive["shard_ids"]
+                offsets = archive["shard_offsets"]
+        except ValidationError:
+            raise
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile, json.JSONDecodeError) as exc:
+            raise ValidationError(
+                f"cannot read sharded index manifest {manifest_path!r}: "
+                f"{exc}") from exc
+        if offsets.ndim != 1 or offsets.size != spec.n_shards + 1 or \
+                offsets[0] != 0 or offsets[-1] != merged_ids.size or \
+                np.any(np.diff(offsets) < 0):
+            raise ValidationError(
+                f"sharded index {path!r} is inconsistent: shard_offsets "
+                f"{offsets!r} do not partition {merged_ids.size} row ids "
+                f"into {spec.n_shards} shards")
+        shard_ids = [merged_ids[offsets[s]:offsets[s + 1]]
+                     for s in range(spec.n_shards)]
+        shards = []
+        for shard in range(spec.n_shards):
+            shard_path = os.path.join(path, _shard_name(shard))
+            try:
+                shards.append(Index.load(shard_path))
+            except ValidationError as exc:
+                raise ValidationError(
+                    f"sharded index {path!r}: shard {shard} is missing or "
+                    f"corrupt: {exc}") from exc
+        try:
+            return cls(shards, shard_ids, spec)
+        except ValidationError as exc:
+            raise ValidationError(
+                f"sharded index {path!r} is inconsistent: {exc}") from exc
+
+
+def build_index(data: np.ndarray, spec: IndexSpec | None = None,
+                **overrides):
+    """Build an :class:`Index` or a :class:`ShardedIndex` from one spec.
+
+    Dispatches on ``spec.n_shards``: 1 builds the monolithic index, more
+    builds the sharded one.  The two share the ``build/search/save/load``
+    surface, so callers (CLI, probes, examples) need no branching beyond
+    this call.
+    """
+    if spec is None:
+        spec = IndexSpec(**overrides)
+    elif overrides:
+        spec = spec.replace(**overrides)
+    if spec.n_shards > 1:
+        return ShardedIndex.build(data, spec)
+    return Index.build(data, spec)
+
+
+def load_index(path):
+    """Load a saved index, monolithic (NPZ file) or sharded (directory)."""
+    if os.path.isdir(os.fspath(path)):
+        return ShardedIndex.load(path)
+    return Index.load(path)

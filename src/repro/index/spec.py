@@ -26,8 +26,15 @@ from ..distance import METRICS, resolve_dtype, resolve_metric
 from ..exceptions import ValidationError
 from ..validation import check_positive_int
 
-__all__ = ["IndexSpec", "BuilderEntry", "BUILDERS", "register_builder",
-           "available_backends"]
+__all__ = ["IndexSpec", "BuilderEntry", "BUILDERS", "PARTITIONERS",
+           "register_builder", "available_backends"]
+
+#: Dataset partitioners understood by the sharded index layer:
+#: ``"round_robin"`` deals row ``i`` to shard ``i % n_shards`` (balanced,
+#: metric-free), ``"gkmeans"`` routes each vector to its nearest of
+#: ``n_shards`` coarse k-means centroids (locality-preserving, so each
+#: query's true neighbours concentrate in few shards).
+PARTITIONERS = ("round_robin", "gkmeans")
 
 
 @dataclass(frozen=True)
@@ -101,6 +108,13 @@ class IndexSpec:
         the index.  Purely a throughput knob — results are bit-for-bit
         identical for every worker count — so it is safe to persist and to
         override per call.
+    n_shards, partitioner:
+        Horizontal-partitioning recipe consumed by
+        :class:`~repro.index.sharded.ShardedIndex`.  ``n_shards=1`` (the
+        default) is the monolithic index; ``n_shards>1`` splits the dataset
+        with the named partitioner (see :data:`PARTITIONERS`) and builds one
+        sub-index per shard.  Like ``workers``, shard fan-out at serve time
+        is a pure throughput knob.
     symmetrize:
         Whether search adds reverse edges to the adjacency (recommended).
     random_state:
@@ -120,6 +134,8 @@ class IndexSpec:
     n_starts: int = 4
     seed_sample: int | None = 256
     workers: int = 1
+    n_shards: int = 1
+    partitioner: str = "round_robin"
     symmetrize: bool = True
     random_state: int = 0
     params: Mapping = field(default_factory=dict)
@@ -147,6 +163,12 @@ class IndexSpec:
             self.n_starts, name="n_starts"))
         object.__setattr__(self, "workers", check_positive_int(
             self.workers, name="workers"))
+        object.__setattr__(self, "n_shards", check_positive_int(
+            self.n_shards, name="n_shards"))
+        if self.partitioner not in PARTITIONERS:
+            raise ValidationError(
+                f"unknown partitioner {self.partitioner!r}; expected one of "
+                f"{list(PARTITIONERS)}")
         if self.seed_sample is not None:
             object.__setattr__(self, "seed_sample", check_positive_int(
                 self.seed_sample, name="seed_sample"))
@@ -185,6 +207,8 @@ class IndexSpec:
             "n_starts": self.n_starts,
             "seed_sample": self.seed_sample,
             "workers": self.workers,
+            "n_shards": self.n_shards,
+            "partitioner": self.partitioner,
             "symmetrize": self.symmetrize,
             "random_state": self.random_state,
             "params": dict(self.params),
@@ -201,8 +225,8 @@ class IndexSpec:
             raise ValidationError(
                 f"index spec must be a mapping, got {type(payload).__name__}")
         known = {"backend", "n_neighbors", "metric", "dtype", "pool_size",
-                 "n_starts", "seed_sample", "workers", "symmetrize",
-                 "random_state", "params"}
+                 "n_starts", "seed_sample", "workers", "n_shards",
+                 "partitioner", "symmetrize", "random_state", "params"}
         unknown = set(payload) - known
         if unknown:
             raise ValidationError(

@@ -56,14 +56,16 @@ class SearchEvaluation:
 
 def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
                     pool_size: int | None = None, batch: bool | None = None,
-                    workers: int | None = None) -> SearchEvaluation:
+                    workers: int | None = None,
+                    shard_workers: int | None = None) -> SearchEvaluation:
     """Evaluate a searcher against exact brute-force results.
 
     Parameters
     ----------
     searcher:
-        A :class:`~repro.search.greedy.GraphSearcher` or an
-        :class:`~repro.index.Index`.
+        A :class:`~repro.search.greedy.GraphSearcher`, an
+        :class:`~repro.index.Index` or a
+        :class:`~repro.index.ShardedIndex`.
     queries:
         ``(m, d)`` held-out query matrix.
     n_results:
@@ -80,6 +82,10 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
         Worker-thread override for the batched frontier walk (forwarded to
         the searcher; results are identical for every worker count).
         Ignored in per-query mode.
+    shard_workers:
+        Shard fan-out threads for a :class:`~repro.index.ShardedIndex`
+        (likewise a pure throughput knob).  Only valid for sharded
+        searchers; ignored when ``None``.
 
     The brute-force oracle is computed under the searcher's own metric, so
     cosine / inner-product searchers are scored against the right ground
@@ -105,8 +111,11 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
     if batch:
         started = time.perf_counter()
         if is_index:
+            fan_out = {} if shard_workers is None else \
+                {"shard_workers": shard_workers}
             approx, _ = searcher.search(queries, n_results,
-                                        pool_size=pool_size, workers=workers)
+                                        pool_size=pool_size, workers=workers,
+                                        **fan_out)
         else:
             approx, _ = searcher.batch_query(queries, n_results,
                                              pool_size=pool_size,

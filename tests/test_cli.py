@@ -150,6 +150,78 @@ class TestIndexCommands:
         assert main(["list"]) == 0
         assert "backends" in capsys.readouterr().out
 
+    def test_shards_parse(self):
+        args = build_parser().parse_args(["build", "--out", "x.shards",
+                                          "--shards", "4",
+                                          "--partitioner", "gkmeans"])
+        assert args.shards == 4
+        assert args.partitioner == "gkmeans"
+        args = build_parser().parse_args(["search", "x.shards",
+                                          "--shard-workers", "2"])
+        assert args.shard_workers == 2
+
+    def test_sharded_build_search_round_trip(self, tmp_path, capsys):
+        """``--shards`` builds a sharded directory and serves it back.
+
+        Shard fan-out is a pure throughput knob, so the fanned-out search
+        must report the same recall/eval numbers as the sequential one.
+        """
+        path = str(tmp_path / "cli.shards")
+        code = main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "600", "--n-features", "8",
+                     "--backend", "nndescent", "--n-neighbors", "6",
+                     "--shards", "3", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards" in out and "round_robin" in out
+        import os
+        assert os.path.isdir(path)
+
+        assert main(["search", path, "--n-queries", "30", "--k", "5",
+                     "--shard-workers", "2"]) == 0
+        fanned = capsys.readouterr().out
+        assert "ShardedIndex" in fanned
+        assert main(["search", path, "--n-queries", "30", "--k", "5",
+                     "--shard-workers", "1"]) == 0
+        sequential = capsys.readouterr().out
+
+        def fetch(text, column):
+            lines = text.splitlines()
+            header, row = lines[-3].split(), lines[-1].split()
+            return row[header.index(column)]
+
+        for column in ("recall@1", "recall@5", "distance_evals"):
+            assert fetch(fanned, column) == fetch(sequential, column)
+        assert fetch(fanned, "shard_workers") == "2"
+
+    def test_shard_workers_ignored_for_single_file_index(self, tmp_path,
+                                                         capsys):
+        path = str(tmp_path / "mono.idx")
+        main(["build", "--out", path, "--dataset", "sift1m",
+              "--n-samples", "400", "--n-features", "8",
+              "--backend", "random", "--n-neighbors", "5", "--seed", "1"])
+        capsys.readouterr()
+        assert main(["search", path, "--n-queries", "10", "--k", "3",
+                     "--shard-workers", "4"]) == 0
+
+    def test_search_missing_index_exits_cleanly(self, tmp_path, capsys):
+        """A bad index path is a one-line error, not a traceback."""
+        missing = str(tmp_path / "nope.idx")
+        assert main(["search", missing, "--k", "3"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        error = captured.err.strip()
+        assert error.startswith("error:")
+        assert "\n" not in error
+
+    def test_search_corrupt_index_exits_cleanly(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.idx"
+        corrupt.write_bytes(b"this is not an index")
+        assert main(["search", str(corrupt), "--k", "3"]) == 2
+        error = capsys.readouterr().err.strip()
+        assert error.startswith("error:")
+        assert "\n" not in error
+
     def test_gkmeans_build_round_trip(self, tmp_path, capsys):
         path = str(tmp_path / "alg3.idx")
         code = main(["build", "--out", path, "--n-samples", "400",

@@ -12,7 +12,6 @@ from repro.cluster.gkmeans import (
 from repro.cluster.objective import ClusterState
 from repro.cluster.two_means_tree import two_means_labels
 from repro.exceptions import ValidationError
-from repro.graph import brute_force_knn_graph
 from repro.metrics import average_distortion, normalized_mutual_information
 
 

@@ -26,7 +26,7 @@ from repro.experiments import (
     table1_datasets,
     table2_large_k,
 )
-from repro.experiments.config import SMALL, ExperimentScale
+from repro.experiments.config import ExperimentScale
 
 #: Very small preset so the whole experiment module suite runs in seconds.
 TINY = ExperimentScale(n_samples=600, n_features=12, n_clusters=15,
@@ -230,6 +230,19 @@ class TestAnnsProbe:
             assert seq_row["recall@1"] == par_row["recall@1"]
             assert seq_row["recall@5"] == par_row["recall@5"]
             assert seq_row["distance_evals"] == par_row["distance_evals"]
+
+    def test_probe_compares_shard_counts(self):
+        payload = anns_probe.run(TINY, n_queries=20, n_results=5,
+                                 pool_size=32, n_shards=2)
+        assert payload["metadata"]["n_shards"] == 2
+        shard_counts = [row["shards"] for row in payload["table"]]
+        # one monolithic and one 2-shard row per backend
+        assert shard_counts.count(1) == shard_counts.count(2) == 2
+        for row in payload["table"]:
+            assert 0.0 <= row["recall@5"] <= 1.0
+            assert row["qps"] > 0
+            if row["shards"] > 1:
+                assert "shards" in row["graph"]
 
 
 class TestAblations:

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.cluster import KMeans, TwoMeansTree
-from repro.graph import brute_force_knn_graph
 from repro.metrics import (
     StageTimer,
     Timer,

@@ -7,6 +7,17 @@ bit-for-bit identical neighbours, distances and evaluation counts.  These
 tests enforce that contract at every layer (``frontier_batch_search``,
 ``GraphSearcher.batch_query``, ``Index.search``), across repeated runs with
 the same seed, and across an ``Index.save``/``load`` round-trip.
+
+The sharded layer extends the contract on two axes (the ``TestShard*``
+classes below):
+
+* ``shard_workers`` — the shard fan-out — is bit-for-bit invariant, like
+  ``workers``, including across a ``ShardedIndex.save``/``load`` round-trip.
+* ``n_shards`` itself changes only *where* vectors live, not what a search
+  returns: in the exhaustive regime (candidate pool covering every shard,
+  entry sample scoring every point) sharded results must equal the
+  unsharded single-index oracle up to bitwise distance ties, for every
+  shard count, across metric × dtype.
 """
 
 import numpy as np
@@ -15,7 +26,7 @@ import pytest
 from repro.datasets import make_sift_like, train_query_split
 from repro.exceptions import ValidationError
 from repro.graph import brute_force_knn_graph
-from repro.index import Index, IndexSpec
+from repro.index import Index, IndexSpec, ShardedIndex
 from repro.search import (
     GraphSearcher,
     ServingStats,
@@ -160,6 +171,142 @@ class TestServingStatsSurface:
         perquery = evaluate_search(served_index, queries[:8], n_results=5,
                                    batch=False)
         assert perquery.serving_stats is None
+
+
+#: metric × dtype grid of the shard-count invariance sweep.
+SHARD_ENGINE_CONFIGS = [("sqeuclidean", "float64"), ("sqeuclidean", "float32"),
+                        ("cosine", "float64"), ("cosine", "float32")]
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _exhaustive_spec(n_base, metric, dtype, **overrides):
+    """A spec whose greedy walk provably returns the true top-k.
+
+    ``pool_size`` covers the whole dataset (the pool never fills, so the
+    walk only stops when its component is exhausted), ``seed_sample`` scores
+    every point and ``n_starts=8`` entry points over a kappa=12 graph keep
+    every component reachable — so monolithic and sharded searches are both
+    exact and must agree up to bitwise distance ties.
+    """
+    return IndexSpec(backend="bruteforce", n_neighbors=12, n_starts=8,
+                     pool_size=n_base, seed_sample=n_base, metric=metric,
+                     dtype=dtype, random_state=5, **overrides)
+
+
+def _assert_rows_match_up_to_ties(s_idx, s_dist, o_idx, o_dist, *,
+                                  rtol, label):
+    """Per-row id equality, permitting permutations of tied distances."""
+    for row in range(s_idx.shape[0]):
+        if np.array_equal(s_idx[row], o_idx[row]):
+            continue
+        np.testing.assert_allclose(
+            s_dist[row], o_dist[row], rtol=rtol, atol=rtol,
+            err_msg=f"{label} row {row}: sharded diverged from the oracle")
+        differs = s_idx[row] != o_idx[row]
+        tied = np.isclose(s_dist[row][differs], o_dist[row][differs],
+                          rtol=rtol, atol=rtol)
+        assert np.all(tied), \
+            f"{label} row {row}: ids differ at non-tied distances"
+
+
+class TestShardCountInvariance:
+    """``n_shards`` moves vectors, never answers (vs the unsharded oracle)."""
+
+    @pytest.fixture(scope="class")
+    def shard_setup(self):
+        corpus = make_sift_like(400, 12, random_state=3)
+        return train_query_split(corpus, 40, random_state=3)
+
+    @pytest.mark.parametrize("metric,dtype", SHARD_ENGINE_CONFIGS)
+    def test_sharded_matches_unsharded_oracle(self, shard_setup, metric,
+                                              dtype, tmp_path):
+        base, queries = shard_setup
+        spec = _exhaustive_spec(base.shape[0], metric, dtype)
+        oracle = Index.build(base, spec)
+        o_idx, o_dist = oracle.search(queries, 10)
+        # float32 gemms over different shard shapes may round the last ulp
+        # differently; the tolerance only widens which pairs count as ties.
+        rtol = 1e-9 if dtype == "float64" else 1e-5
+        for n_shards in SHARD_COUNTS:
+            sharded = ShardedIndex.build(
+                base, spec.replace(n_shards=n_shards))
+            s_idx, s_dist = sharded.search(queries, 10)
+            label = f"{metric}/{dtype}/n_shards={n_shards}"
+            _assert_rows_match_up_to_ties(s_idx, s_dist, o_idx, o_dist,
+                                          rtol=rtol, label=label)
+            # ... and the save/load round-trip serves the same bytes.
+            path = tmp_path / f"{metric}-{dtype}-{n_shards}.shards"
+            sharded.save(path)
+            restored = ShardedIndex.load(path)
+            r_idx, r_dist = restored.search(queries, 10)
+            assert r_idx.tobytes() == s_idx.tobytes()
+            assert r_dist.tobytes() == s_dist.tobytes()
+
+    def test_gkmeans_partitioner_matches_oracle_too(self, shard_setup):
+        base, queries = shard_setup
+        spec = _exhaustive_spec(base.shape[0], "sqeuclidean", "float64",
+                                n_shards=3, partitioner="gkmeans")
+        oracle = Index.build(base, spec.replace(n_shards=1))
+        sharded = ShardedIndex.build(base, spec)
+        o_idx, o_dist = oracle.search(queries, 10)
+        s_idx, s_dist = sharded.search(queries, 10)
+        _assert_rows_match_up_to_ties(s_idx, s_dist, o_idx, o_dist,
+                                      rtol=1e-9, label="gkmeans partitioner")
+
+
+class TestShardFanOutDeterminism:
+    """``shard_workers`` (and per-shard ``workers``) are throughput knobs."""
+
+    @pytest.fixture(scope="class")
+    def served_sharded(self):
+        corpus = make_sift_like(800, 16, random_state=17)
+        base, queries = train_query_split(corpus, 64, random_state=17)
+        spec = IndexSpec(backend="bruteforce", n_neighbors=8, n_shards=4,
+                         workers=2, random_state=13)
+        return ShardedIndex.build(base, spec), queries
+
+    @staticmethod
+    def _search_bytes(index, queries, **kwargs):
+        idx, dist = index.search(queries, 6, **kwargs)
+        evals = index.last_per_query_evaluations
+        return idx.tobytes() + dist.tobytes() + evals.tobytes()
+
+    def test_shard_workers_bitwise_identical(self, served_sharded):
+        sharded, queries = served_sharded
+        baseline = self._search_bytes(sharded, queries, shard_workers=1)
+        for shard_workers in (2, 4, 8):
+            assert self._search_bytes(
+                sharded, queries, shard_workers=shard_workers) == baseline
+
+    def test_inner_workers_bitwise_identical(self, served_sharded):
+        sharded, queries = served_sharded
+        baseline = self._search_bytes(sharded, queries, workers=1)
+        assert self._search_bytes(sharded, queries, workers=4,
+                                  shard_workers=4) == baseline
+
+    def test_repeated_searches_byte_identical(self, served_sharded):
+        sharded, queries = served_sharded
+        assert self._search_bytes(sharded, queries) \
+            == self._search_bytes(sharded, queries)
+
+    def test_save_load_then_parallel_fanout_identical(self, served_sharded,
+                                                      tmp_path):
+        sharded, queries = served_sharded
+        path = tmp_path / "served.shards"
+        sharded.save(path)
+        restored = ShardedIndex.load(path)
+        assert restored.spec.workers == 2
+        assert self._search_bytes(restored, queries, shard_workers=4) \
+            == self._search_bytes(sharded, queries, shard_workers=1)
+
+    def test_evaluate_search_forwards_shard_workers(self, served_sharded):
+        sharded, queries = served_sharded
+        evaluation = evaluate_search(sharded, queries, n_results=5,
+                                     shard_workers=3)
+        assert evaluation.serving_stats is not None
+        assert evaluation.serving_stats.shard_workers == 3
+        assert evaluation.serving_stats.n_shards == 4
 
 
 class TestWorkersValidation:

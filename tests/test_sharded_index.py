@@ -1,0 +1,331 @@
+"""Tests for the sharded index layer (build / search / persist / validate)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_sift_like, train_query_split
+from repro.exceptions import ValidationError
+from repro.graph.bruteforce import brute_force_neighbors
+from repro.index import (
+    Index,
+    IndexSpec,
+    ShardedIndex,
+    ShardedServingStats,
+    build_index,
+    load_index,
+    partition_dataset,
+)
+
+N_BASE = 360
+N_QUERIES = 40
+N_FEATURES = 12
+
+
+@pytest.fixture(scope="module")
+def shard_setup():
+    corpus = make_sift_like(N_BASE + N_QUERIES, N_FEATURES, random_state=3)
+    return train_query_split(corpus, N_QUERIES, random_state=3)
+
+
+@pytest.fixture(scope="module")
+def sharded_index(shard_setup):
+    base, _ = shard_setup
+    spec = IndexSpec(backend="bruteforce", n_neighbors=8, n_shards=4,
+                     random_state=5)
+    return ShardedIndex.build(base, spec)
+
+
+class TestPartitioners:
+    def test_round_robin_balanced_permutation(self, shard_setup):
+        base, _ = shard_setup
+        groups = partition_dataset(base, 4, "round_robin")
+        assert [g.size for g in groups] == [N_BASE // 4] * 4
+        merged = np.sort(np.concatenate(groups))
+        assert np.array_equal(merged, np.arange(N_BASE))
+        assert np.array_equal(groups[1][:3], [1, 5, 9])
+
+    def test_gkmeans_partition_covers_dataset(self, shard_setup):
+        base, _ = shard_setup
+        groups = partition_dataset(base, 3, "gkmeans", random_state=0)
+        assert len(groups) == 3
+        assert all(g.size >= 2 for g in groups)
+        merged = np.sort(np.concatenate(groups))
+        assert np.array_equal(merged, np.arange(N_BASE))
+
+    def test_gkmeans_partition_deterministic(self, shard_setup):
+        base, _ = shard_setup
+        a = partition_dataset(base, 3, "gkmeans", random_state=7)
+        b = partition_dataset(base, 3, "gkmeans", random_state=7)
+        for left, right in zip(a, b):
+            assert np.array_equal(left, right)
+
+    def test_gkmeans_partition_accepts_dot_metric(self, shard_setup):
+        """The coarse split falls back to sqeuclidean for dot indexes."""
+        base, queries = shard_setup
+        sharded = ShardedIndex.build(base, backend="bruteforce",
+                                     n_neighbors=6, metric="dot",
+                                     n_shards=2, partitioner="gkmeans")
+        assert sharded.metric == "dot"
+        idx, dist = sharded.search(queries[:5], 4)
+        assert idx.shape == (5, 4)
+
+    def test_single_shard_is_identity(self, shard_setup):
+        base, _ = shard_setup
+        (group,) = partition_dataset(base, 1, "round_robin")
+        assert np.array_equal(group, np.arange(N_BASE))
+
+    def test_unknown_partitioner_rejected(self, shard_setup):
+        base, _ = shard_setup
+        with pytest.raises(ValidationError, match="partitioner"):
+            partition_dataset(base, 2, "hashring")
+
+    def test_too_many_shards_rejected(self, shard_setup):
+        base, _ = shard_setup
+        with pytest.raises(ValidationError, match="n_shards"):
+            partition_dataset(base, N_BASE, "round_robin")
+
+
+class TestSpecSurface:
+    def test_spec_shard_fields_roundtrip_json(self):
+        spec = IndexSpec(backend="bruteforce", n_shards=4,
+                         partitioner="gkmeans")
+        restored = IndexSpec.from_json(spec.to_json())
+        assert restored.n_shards == 4
+        assert restored.partitioner == "gkmeans"
+
+    def test_spec_without_shard_keys_defaults_to_monolithic(self):
+        payload = IndexSpec(backend="bruteforce").to_dict()
+        del payload["n_shards"]     # a pre-sharding index file
+        del payload["partitioner"]
+        spec = IndexSpec.from_dict(payload)
+        assert spec.n_shards == 1
+        assert spec.partitioner == "round_robin"
+
+    def test_spec_rejects_bad_shard_fields(self):
+        with pytest.raises(ValidationError):
+            IndexSpec(backend="bruteforce", n_shards=0)
+        with pytest.raises(ValidationError, match="partitioner"):
+            IndexSpec(backend="bruteforce", partitioner="modulo")
+
+    def test_monolithic_build_rejects_sharded_spec(self, shard_setup):
+        base, _ = shard_setup
+        with pytest.raises(ValidationError, match="ShardedIndex"):
+            Index.build(base, backend="bruteforce", n_shards=2)
+
+    def test_build_index_dispatches_on_n_shards(self, shard_setup):
+        base, _ = shard_setup
+        mono = build_index(base, backend="bruteforce", n_neighbors=6)
+        assert isinstance(mono, Index)
+        sharded = build_index(base, backend="bruteforce", n_neighbors=6,
+                              n_shards=2)
+        assert isinstance(sharded, ShardedIndex)
+        assert sharded.n_shards == 2
+
+
+class TestBuildAndSearch:
+    def test_build_surface(self, sharded_index):
+        assert sharded_index.n_shards == 4
+        assert sharded_index.n_points == N_BASE
+        assert sharded_index.n_features == N_FEATURES
+        assert len(sharded_index) == N_BASE
+        assert sharded_index.build_seconds > 0
+        assert sharded_index.shard_sizes == (90, 90, 90, 90)
+        assert "n_shards=4" in repr(sharded_index)
+
+    def test_data_reassembled_in_original_order(self, sharded_index,
+                                                shard_setup):
+        base, _ = shard_setup
+        assert np.array_equal(sharded_index.data, base)
+
+    def test_build_workers_do_not_change_the_index(self, shard_setup):
+        base, _ = shard_setup
+        spec = IndexSpec(backend="bruteforce", n_neighbors=6, n_shards=3,
+                         random_state=2)
+        serial = ShardedIndex.build(base, spec, build_workers=1)
+        pooled = ShardedIndex.build(base, spec, build_workers=3)
+        for left, right in zip(serial.shards, pooled.shards):
+            assert np.array_equal(left.graph.indices, right.graph.indices)
+
+    def test_search_merges_global_ids(self, sharded_index, shard_setup):
+        base, queries = shard_setup
+        idx, dist = sharded_index.search(queries, 10)
+        assert idx.shape == dist.shape == (N_QUERIES, 10)
+        assert idx.min() >= 0 and idx.max() < N_BASE
+        # Distances ascend within each row.
+        assert np.all(np.diff(dist, axis=1) >= 0)
+        evals = sharded_index.last_per_query_evaluations
+        assert evals.shape == (N_QUERIES,)
+        assert sharded_index.last_n_evaluations == evals.sum()
+
+    def test_search_exact_in_exhaustive_regime(self, shard_setup):
+        """With the pool covering each shard, the merge is the true top-k."""
+        base, queries = shard_setup
+        spec = IndexSpec(backend="bruteforce", n_neighbors=12, n_starts=8,
+                         pool_size=N_BASE, seed_sample=N_BASE, n_shards=4,
+                         random_state=5)
+        sharded = ShardedIndex.build(base, spec)
+        idx, dist = sharded.search(queries, 10)
+        exact_idx, exact_dist = brute_force_neighbors(queries, base, 10)
+        np.testing.assert_allclose(dist, exact_dist, rtol=1e-9)
+
+    def test_single_query_matches_batch_row(self, sharded_index,
+                                            shard_setup):
+        _, queries = shard_setup
+        single_idx, single_dist = sharded_index.search(queries[0], 5)
+        assert single_idx.shape == single_dist.shape == (5,)
+        assert sharded_index.last_serving_stats is None
+        assert sharded_index.last_per_query_evaluations.shape == (1,)
+
+    def test_n_results_larger_than_any_shard(self, shard_setup):
+        base, queries = shard_setup
+        spec = IndexSpec(backend="bruteforce", n_neighbors=6, n_shards=4,
+                         pool_size=N_BASE, random_state=5)
+        sharded = ShardedIndex.build(base, spec)
+        k = min(N_BASE, 120)            # > the 90-point shards
+        idx, dist = sharded.search(queries[:4], k)
+        assert idx.shape == (4, k)
+
+    def test_n_results_validated_against_total(self, sharded_index,
+                                               shard_setup):
+        _, queries = shard_setup
+        with pytest.raises(ValidationError):
+            sharded_index.search(queries, N_BASE + 1)
+
+    def test_shard_workers_validated(self, sharded_index, shard_setup):
+        _, queries = shard_setup
+        with pytest.raises(ValidationError):
+            sharded_index.search(queries, 5, shard_workers=0)
+
+    def test_clamped_n_neighbors_for_tiny_shards(self):
+        data = make_sift_like(24, 6, random_state=0)
+        sharded = ShardedIndex.build(data, backend="bruteforce",
+                                     n_neighbors=16, n_shards=4)
+        assert all(index.graph.n_neighbors == 5
+                   for index in sharded.shards)  # 6-point shards -> kappa 5
+
+
+class TestServingStatsAggregation:
+    def test_combined_stats_surface(self, sharded_index, shard_setup):
+        _, queries = shard_setup
+        sharded_index.search(queries, 6, shard_workers=2)
+        stats = sharded_index.last_serving_stats
+        assert isinstance(stats, ShardedServingStats)
+        assert stats.n_shards == 4
+        assert stats.shard_workers == 2
+        assert stats.n_queries == N_QUERIES
+        assert len(stats.shard_stats) == 4
+        assert stats.n_groups == sum(s.n_groups for s in stats.shard_stats)
+        assert stats.n_rounds == sum(s.n_rounds for s in stats.shard_stats)
+        assert stats.n_gemms == sum(s.n_gemms for s in stats.shard_stats)
+        assert stats.total_seconds > 0
+        assert stats.queries_per_second > 0
+        assert stats.workers >= 1
+
+    def test_perquery_strategy_leaves_no_stats(self, sharded_index,
+                                               shard_setup):
+        _, queries = shard_setup
+        sharded_index.search(queries, 6, strategy="perquery")
+        assert sharded_index.last_serving_stats is None
+        assert sharded_index.last_per_query_evaluations is not None
+
+
+class TestPersistence:
+    def test_save_load_roundtrip_bitwise(self, sharded_index, shard_setup,
+                                         tmp_path):
+        _, queries = shard_setup
+        path = tmp_path / "corpus.shards"
+        sharded_index.save(path)
+        assert sorted(os.listdir(path)) == [
+            "manifest.npz", "shard_0000.idx", "shard_0001.idx",
+            "shard_0002.idx", "shard_0003.idx"]
+        restored = load_index(path)
+        assert isinstance(restored, ShardedIndex)
+        assert restored.spec == sharded_index.spec
+        before = sharded_index.search(queries, 8)
+        after = restored.search(queries, 8)
+        assert before[0].tobytes() == after[0].tobytes()
+        assert before[1].tobytes() == after[1].tobytes()
+
+    def test_save_replaces_existing_directory(self, sharded_index,
+                                              tmp_path):
+        path = tmp_path / "corpus.shards"
+        sharded_index.save(path)
+        sharded_index.save(path)           # idempotent overwrite
+        assert len(os.listdir(path)) == 5
+        assert not [name for name in os.listdir(tmp_path)
+                    if name.startswith(".sharded")]
+
+    def test_save_replaces_existing_regular_file(self, sharded_index,
+                                                 shard_setup, tmp_path):
+        """Re-building over a single-file index path must not crash."""
+        base, _ = shard_setup
+        path = tmp_path / "corpus.idx"
+        Index.build(base, backend="bruteforce", n_neighbors=6).save(path)
+        assert path.is_file()
+        sharded_index.save(path)
+        assert path.is_dir()
+        assert isinstance(load_index(path), ShardedIndex)
+        assert not [name for name in os.listdir(tmp_path)
+                    if name.startswith(".sharded")]
+
+    def test_load_index_dispatches_on_layout(self, sharded_index,
+                                             shard_setup, tmp_path):
+        base, _ = shard_setup
+        mono = Index.build(base, backend="bruteforce", n_neighbors=6)
+        mono_path = tmp_path / "mono.idx"
+        mono.save(mono_path)
+        assert isinstance(load_index(mono_path), Index)
+        shard_path = tmp_path / "sharded"
+        sharded_index.save(shard_path)
+        assert isinstance(load_index(shard_path), ShardedIndex)
+
+    def test_load_rejects_non_index_directory(self, tmp_path):
+        empty = tmp_path / "not_an_index"
+        empty.mkdir()
+        with pytest.raises(ValidationError, match="manifest"):
+            ShardedIndex.load(empty)
+
+    def test_load_rejects_missing_shard_file(self, sharded_index, tmp_path):
+        path = tmp_path / "corpus.shards"
+        sharded_index.save(path)
+        os.unlink(path / "shard_0002.idx")
+        with pytest.raises(ValidationError, match="shard 2"):
+            ShardedIndex.load(path)
+
+    def test_load_rejects_corrupt_shard_file(self, sharded_index, tmp_path):
+        path = tmp_path / "corpus.shards"
+        sharded_index.save(path)
+        with open(path / "shard_0001.idx", "wb") as stream:
+            stream.write(b"not an npz")
+        with pytest.raises(ValidationError, match="shard 1"):
+            ShardedIndex.load(path)
+
+    def test_load_rejects_corrupt_manifest(self, sharded_index, tmp_path):
+        path = tmp_path / "corpus.shards"
+        sharded_index.save(path)
+        with open(path / "manifest.npz", "wb") as stream:
+            stream.write(b"garbage")
+        with pytest.raises(ValidationError, match="manifest"):
+            ShardedIndex.load(path)
+
+    def test_load_rejects_foreign_manifest(self, sharded_index, tmp_path):
+        path = tmp_path / "corpus.shards"
+        sharded_index.save(path)
+        np.savez(path / "manifest.npz", unrelated=np.arange(3))
+        with pytest.raises(ValidationError, match="missing keys"):
+            ShardedIndex.load(path)
+
+
+class TestConstructorValidation:
+    def test_rejects_mismatched_shard_count(self, sharded_index):
+        with pytest.raises(ValidationError, match="shards"):
+            ShardedIndex(sharded_index.shards[:2], sharded_index.shard_ids,
+                         sharded_index.spec)
+
+    def test_rejects_non_permutation_ids(self, sharded_index):
+        bad_ids = [ids.copy() for ids in sharded_index.shard_ids]
+        bad_ids[0][0] = bad_ids[1][0]      # duplicate a global id
+        with pytest.raises(ValidationError, match="permutation"):
+            ShardedIndex(sharded_index.shards, bad_ids, sharded_index.spec)
