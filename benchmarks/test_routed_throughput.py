@@ -1,0 +1,97 @@
+"""Routed-serving benchmark: the recall@10 vs qps frontier of shard_probe.
+
+Records queries/sec and recall@10 of a gkmeans-partitioned ``ShardedIndex``
+at every routed fan-out ``shard_probe`` ∈ {1, 2, S} into the bench
+trajectory, so the recall/throughput frontier the routing knob trades along
+is tracked commit over commit next to the worker- and shard-scaling suites.
+The enforced contract mirrors the sharding benchmark's: ``shard_probe = S``
+must return bit-for-bit the full fan-out's answer, routing must be
+``shard_workers``-invariant, and a smaller probe must never collapse recall
+below the partitioner's locality floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH, recall_against
+
+from repro.datasets import make_sift_like, train_query_split
+from repro.graph.bruteforce import brute_force_neighbors
+from repro.index import IndexSpec, build_index
+
+N_SHARDS = 4
+
+SHARD_PROBES = (1, 2, N_SHARDS)
+
+#: queries/sec per probe, for the cross-row soft guard.
+_RECORDED: dict = {}
+
+
+@pytest.fixture(scope="module")
+def routed_setup():
+    corpus = make_sift_like(BENCH.n_samples, BENCH.n_features,
+                            random_state=BENCH.random_state)
+    base, queries = train_query_split(corpus, 256,
+                                      random_state=BENCH.random_state)
+    exact_idx, _ = brute_force_neighbors(queries, base, 10)
+    spec = IndexSpec(backend="gkmeans", n_neighbors=BENCH.n_neighbors,
+                     pool_size=64, n_shards=N_SHARDS, partitioner="gkmeans",
+                     random_state=BENCH.random_state,
+                     params={"tau": BENCH.graph_tau,
+                             "cluster_size": BENCH.cluster_size})
+    return build_index(base, spec), queries, exact_idx
+
+
+@pytest.mark.parametrize("shard_probe", SHARD_PROBES)
+def test_routed_throughput(benchmark, routed_setup, shard_probe):
+    index, queries, exact_idx = routed_setup
+    indices, distances = benchmark.pedantic(
+        lambda: index.search(queries, 10, shard_probe=shard_probe,
+                             shard_workers=N_SHARDS),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+    queries_per_second = queries.shape[0] / benchmark.stats.stats.min
+    recall = recall_against(indices, exact_idx)
+    stats = index.last_serving_stats
+    benchmark.extra_info["n_shards"] = N_SHARDS
+    benchmark.extra_info["shard_probe"] = shard_probe
+    benchmark.extra_info["queries_per_second"] = round(queries_per_second, 1)
+    benchmark.extra_info["recall_at_10"] = round(recall, 4)
+    benchmark.extra_info["routing_gemms"] = stats.routing_gemms
+    benchmark.extra_info["probed_shards_per_query"] = \
+        stats.probed_shards_per_query
+    print(f"\nshard_probe={shard_probe}/{N_SHARDS}: "
+          f"{queries_per_second:,.0f} queries/s, recall@10={recall:.3f}")
+
+    if shard_probe == N_SHARDS:
+        # Full probe is the exact full fan-out, bit for bit.
+        full_idx, full_dist = index.search(queries, 10,
+                                           shard_workers=N_SHARDS)
+        assert np.array_equal(indices, full_idx)
+        assert np.array_equal(distances, full_dist)
+        assert stats.routing_gemms == 0
+        assert recall >= 0.8
+    else:
+        # Routing is deterministic and shard_workers-invariant.
+        sequential = index.search(queries, 10, shard_probe=shard_probe,
+                                  shard_workers=1)
+        assert np.array_equal(indices, sequential[0])
+        assert np.array_equal(distances, sequential[1])
+        assert stats.shard_probe == shard_probe
+        assert stats.routing_gemms == 1
+        # The gkmeans partition concentrates each query's neighbours in few
+        # shards — even the single nearest shard keeps most of the top-10.
+        assert recall >= 0.5
+
+    # Probing fewer shards does less work; the loose bound only catches a
+    # routed path that is catastrophically slower than the full fan-out,
+    # not scheduler noise on shared runners.  (The full-probe row runs
+    # last, so it closes the comparison.)
+    _RECORDED[shard_probe] = queries_per_second
+    if shard_probe == N_SHARDS:
+        for probe, qps in _RECORDED.items():
+            assert qps >= 0.2 * queries_per_second, \
+                f"routed probe={probe} is catastrophically slower than " \
+                f"the full fan-out ({qps:.0f} vs {queries_per_second:.0f})"

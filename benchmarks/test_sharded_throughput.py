@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import BENCH
+from conftest import BENCH, recall_against
 
 from repro.datasets import make_sift_like, train_query_split
 from repro.graph.bruteforce import brute_force_neighbors
@@ -44,12 +44,6 @@ def sharded_setup():
     return indexes, queries, exact_idx
 
 
-def _recall(indices: np.ndarray, exact_idx: np.ndarray) -> float:
-    hits = sum(len(set(map(int, row)) & set(map(int, truth))) / truth.size
-               for row, truth in zip(indices, exact_idx))
-    return hits / exact_idx.shape[0]
-
-
 @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
 def test_sharded_throughput(benchmark, sharded_setup, n_shards):
     indexes, queries, exact_idx = sharded_setup
@@ -60,7 +54,7 @@ def test_sharded_throughput(benchmark, sharded_setup, n_shards):
         rounds=3, iterations=1, warmup_rounds=1)
 
     queries_per_second = queries.shape[0] / benchmark.stats.stats.min
-    recall = _recall(indices, exact_idx)
+    recall = recall_against(indices, exact_idx)
     benchmark.extra_info["n_shards"] = n_shards
     benchmark.extra_info["queries_per_second"] = round(queries_per_second, 1)
     benchmark.extra_info["recall_at_10"] = round(recall, 4)

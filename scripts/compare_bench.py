@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Diff two bench trajectories and gate on serving-time regressions.
+
+Compares a freshly recorded ``BENCH_serving.json`` (see
+``scripts/record_bench.py``) against the committed baseline, matching cases
+by benchmark name.  For every matched case it reports the ``min_seconds``
+ratio (new / baseline — the stable statistic of a noisy shared runner) and
+the recorded queries/sec, renders the comparison as a markdown table (into
+the GitHub step summary when ``GITHUB_STEP_SUMMARY`` is set, always to
+stdout), and exits non-zero when any matched case slowed down by more than
+``--max-slowdown`` (default 1.5x).  Unmatched cases — benchmarks added or
+removed by the change under test — are listed informationally and never
+fail the gate.
+
+Wall-clock ratios only mean "regression" when both trajectories ran on
+comparable hardware, so the machine fingerprints the recorder stores
+(python, cpu_count, effective BLAS threads, BLAS build) are compared
+first: on a mismatch the table is still rendered but slow cases are
+reported as ungated warnings and the exit stays 0 (override with
+``--gate-cross-machine`` if the delta is known to be comparable).
+
+Usage::
+
+    python scripts/compare_bench.py BENCH_serving.json fresh.json
+    python scripts/compare_bench.py baseline.json fresh.json \
+        --max-slowdown 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_trajectory(path: str) -> dict:
+    """Load one bench-trajectory document, keyed for comparison."""
+    with open(path) as stream:
+        document = json.load(stream)
+    schema = document.get("schema")
+    if schema != "bench-trajectory-v1":
+        raise SystemExit(
+            f"error: {path!r} carries schema {schema!r}, expected "
+            "'bench-trajectory-v1'")
+    return document
+
+
+def index_by_name(document: dict) -> dict:
+    """``{case name: result}`` for every result with a usable timing."""
+    cases = {}
+    for result in document.get("results", []):
+        name = result.get("name")
+        if name and isinstance(result.get("min_seconds"), (int, float)):
+            cases[name] = result
+    return cases
+
+
+def machine_fingerprint(document: dict) -> dict:
+    """The provenance fields that make wall-clock times comparable."""
+    machine = document.get("machine") or {}
+    python = machine.get("python") or ""
+    return {
+        "python": ".".join(str(python).split(".")[:2]),
+        "cpu_count": machine.get("cpu_count"),
+        "n_threads": machine.get("n_threads"),
+        "blas": machine.get("blas"),
+    }
+
+
+def _qps(result: dict) -> float | None:
+    value = (result.get("extra") or {}).get("queries_per_second")
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _fmt_qps(value: float | None) -> str:
+    return "-" if value is None else f"{value:,.0f}"
+
+
+def compare(baseline: dict, fresh: dict, max_slowdown: float,
+            gated: bool) -> tuple:
+    """``(markdown lines, regressed case names)`` of the matched diff."""
+    base_cases = index_by_name(baseline)
+    fresh_cases = index_by_name(fresh)
+    matched = sorted(set(base_cases) & set(fresh_cases))
+    added = sorted(set(fresh_cases) - set(base_cases))
+    removed = sorted(set(base_cases) - set(fresh_cases))
+
+    lines = [
+        "## Serving bench regression gate",
+        "",
+        f"Baseline commit `{baseline.get('commit')}` vs fresh run "
+        f"`{fresh.get('commit')}`; a matched case fails the gate above "
+        f"{max_slowdown:.2f}x min-time slowdown.",
+    ]
+    if not gated:
+        lines += [
+            "",
+            "**Machine mismatch — gate disarmed.** The trajectories were "
+            "recorded on different hardware "
+            f"(baseline {machine_fingerprint(baseline)}, fresh "
+            f"{machine_fingerprint(fresh)}), so min-time ratios measure "
+            "the hardware delta as much as the code; slow cases are "
+            "reported as warnings only.",
+        ]
+    lines += [
+        "",
+        "| case | base min (s) | new min (s) | ratio | base qps "
+        "| new qps | status |",
+        "|---|---:|---:|---:|---:|---:|---|",
+    ]
+    regressed = []
+    for name in matched:
+        base_min = float(base_cases[name]["min_seconds"])
+        fresh_min = float(fresh_cases[name]["min_seconds"])
+        ratio = fresh_min / base_min if base_min > 0 else float("inf")
+        slow = ratio > max_slowdown
+        if slow and gated:
+            regressed.append(name)
+        if slow:
+            status = "REGRESSED" if gated else "slow (ungated)"
+        else:
+            status = "improved" if ratio < 1.0 else "ok"
+        lines.append(
+            f"| `{name}` | {base_min:.4f} | {fresh_min:.4f} | "
+            f"{ratio:.2f}x | {_fmt_qps(_qps(base_cases[name]))} | "
+            f"{_fmt_qps(_qps(fresh_cases[name]))} | {status} |")
+    if not matched:
+        lines.append("| _no matched cases_ | - | - | - | - | - | - |")
+    for label, names in (("Added", added), ("Removed", removed)):
+        if names:
+            lines += ["", f"{label} (not gated): " +
+                      ", ".join(f"`{name}`" for name in names)]
+    return lines, regressed
+
+
+def emit(lines: list) -> None:
+    """Print the table; mirror it into the GitHub step summary if present."""
+    text = "\n".join(lines) + "\n"
+    print(text, end="")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as stream:
+            stream.write(text)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two bench trajectories, failing on slowdowns")
+    parser.add_argument("baseline", help="committed trajectory JSON")
+    parser.add_argument("fresh", help="freshly recorded trajectory JSON")
+    parser.add_argument("--max-slowdown", type=float, default=1.5,
+                        help="min_seconds ratio above which a matched case "
+                             "fails the gate (default: 1.5)")
+    parser.add_argument("--gate-cross-machine", action="store_true",
+                        help="fail on slowdowns even when the two "
+                             "trajectories' machine fingerprints differ "
+                             "(default: mismatched machines render the "
+                             "table but only warn)")
+    args = parser.parse_args(argv)
+    if args.max_slowdown <= 0:
+        parser.error("--max-slowdown must be positive")
+
+    baseline = load_trajectory(args.baseline)
+    fresh = load_trajectory(args.fresh)
+    gated = args.gate_cross_machine or \
+        machine_fingerprint(baseline) == machine_fingerprint(fresh)
+    lines, regressed = compare(baseline, fresh, args.max_slowdown, gated)
+    emit(lines)
+    if regressed:
+        print(f"error: {len(regressed)} case(s) regressed beyond "
+              f"{args.max_slowdown:.2f}x: {', '.join(regressed)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

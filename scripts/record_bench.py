@@ -14,7 +14,8 @@ Repo bench-trajectory format (``schema: bench-trajectory-v1``)::
       "suite": "serving",
       "commit": "<git sha or null>",
       "timestamp": "<UTC ISO-8601>",
-      "machine": {"python": "...", "cpu_count": N},
+      "machine": {"python": "...", "cpu_count": N, "n_threads": N,
+                  "numpy": "...", "blas": "..."},
       "results": [
         {"name": "<test id>", "min_seconds": ..., "mean_seconds": ...,
          "stddev_seconds": ..., "rounds": N,
@@ -26,6 +27,10 @@ Repo bench-trajectory format (``schema: bench-trajectory-v1``)::
 Usage::
 
     python scripts/record_bench.py --out BENCH_serving.json
+
+``--check`` refuses to record from a dirty working tree, so a trajectory
+destined for the committed baseline always names the exact code that
+produced its numbers.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SERVING_BENCHMARKS = (
     "benchmarks/test_serving_throughput.py",
     "benchmarks/test_sharded_throughput.py",
+    "benchmarks/test_routed_throughput.py",
 )
 
 
@@ -69,6 +75,53 @@ def git_commit() -> str | None:
     return sha + "-dirty" if status.stdout.strip() else sha
 
 
+def effective_blas_threads() -> int | None:
+    """Thread count the gemm-bound benchmarks actually ran on.
+
+    ``cpu_count`` alone is misleading provenance — a pinned BLAS pool (the
+    common CI configuration) changes every serving number.  Prefer
+    threadpoolctl's live view when it is importable, fall back to the
+    standard pinning environment variables, and only then to the CPU count.
+    """
+    try:
+        from threadpoolctl import threadpool_info
+    except ImportError:
+        pass
+    else:
+        pools = [entry.get("num_threads") for entry in threadpool_info()
+                 if entry.get("user_api") == "blas"]
+        if pools:
+            return max(pools)
+    # Library-specific pins take precedence over the generic OMP one,
+    # matching how OpenBLAS/MKL themselves resolve the variables.
+    for var in ("OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+                "OMP_NUM_THREADS"):
+        value = os.environ.get(var, "").strip()
+        if value.isdigit():
+            return int(value)
+    return os.cpu_count()
+
+
+def numpy_provenance() -> tuple:
+    """``(numpy_version, blas_name)`` of the interpreter's numpy build."""
+    try:
+        import numpy
+    except ImportError:                      # pragma: no cover
+        return None, None
+    blas = None
+    try:
+        config = numpy.show_config(mode="dicts")
+        dependency = config.get("Build Dependencies", {}).get("blas", {})
+        name = dependency.get("name")
+        version = dependency.get("version")
+        if name:
+            blas = f"{name} {version}" if version else str(name)
+    except (TypeError, AttributeError):
+        # numpy < 1.26 has no dict mode; version alone still pins the build.
+        blas = None
+    return numpy.__version__, blas
+
+
 def run_benchmarks(files, raw_json_path: str) -> int:
     """Run the benchmark files, writing pytest-benchmark's raw JSON."""
     command = [
@@ -82,7 +135,7 @@ def run_benchmarks(files, raw_json_path: str) -> int:
     return subprocess.run(command, cwd=REPO_ROOT, env=env).returncode
 
 
-def condense(raw: dict, suite: str) -> dict:
+def condense(raw: dict, suite: str, commit: str | None) -> dict:
     """pytest-benchmark's raw report -> the repo trajectory format."""
     results = []
     for bench in raw.get("benchmarks", []):
@@ -97,15 +150,19 @@ def condense(raw: dict, suite: str) -> dict:
             "extra": bench.get("extra_info") or {},
         })
     machine = raw.get("machine_info") or {}
+    numpy_version, blas = numpy_provenance()
     return {
         "schema": "bench-trajectory-v1",
         "suite": suite,
-        "commit": git_commit(),
+        "commit": commit,
         "timestamp": datetime.datetime.now(
             datetime.timezone.utc).isoformat(timespec="seconds"),
         "machine": {
             "python": machine.get("python_version"),
             "cpu_count": os.cpu_count(),
+            "n_threads": effective_blas_threads(),
+            "numpy": numpy_version,
+            "blas": blas,
         },
         "results": results,
     }
@@ -118,7 +175,20 @@ def main(argv=None) -> int:
                         help="trajectory file to write (repo format)")
     parser.add_argument("--suite", default="serving",
                         help="suite name recorded in the document")
+    parser.add_argument("--check", action="store_true",
+                        help="refuse to record from a dirty working tree "
+                             "(use when refreshing the committed baseline, "
+                             "so its numbers name the exact commit that "
+                             "produced them)")
     args = parser.parse_args(argv)
+
+    commit = git_commit()
+    if args.check and (commit is None or commit.endswith("-dirty")):
+        print("error: --check refuses to record a trajectory from a dirty "
+              f"or unknown working tree (commit: {commit}); commit or "
+              "stash your edits first so the recorded numbers are "
+              "reproducible", file=sys.stderr)
+        return 1
 
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = os.path.join(tmp, "raw.json")
@@ -130,7 +200,7 @@ def main(argv=None) -> int:
         with open(raw_path) as stream:
             raw = json.load(stream)
 
-    document = condense(raw, args.suite)
+    document = condense(raw, args.suite, commit)
     if not document["results"]:
         print("error: benchmark run produced no results", file=sys.stderr)
         return 1

@@ -155,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="threads the shard fan-out of a sharded index "
                              "runs on (ignored for single-file indexes; "
                              "results are identical at every level)")
+    search.add_argument("--shard-probe", type=int, default=None,
+                        help="route each query to its P nearest shards "
+                             "instead of all of them (gkmeans-partitioned "
+                             "sharded indexes only; P = shard count is "
+                             "exactly the full fan-out, smaller P trades "
+                             "recall for throughput)")
     search.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list", help="list datasets, methods and experiments")
@@ -222,10 +228,16 @@ def _run_search(args) -> int:
         source = f"{n_queries} indexed rows (self-queries)"
     shard_workers = (args.shard_workers
                      if isinstance(index, ShardedIndex) else None)
-    evaluation = evaluate_search(index, queries, n_results=args.k,
-                                 pool_size=args.pool_size,
-                                 workers=args.workers,
-                                 shard_workers=shard_workers)
+    try:
+        evaluation = evaluate_search(index, queries, n_results=args.k,
+                                     pool_size=args.pool_size,
+                                     workers=args.workers,
+                                     shard_workers=shard_workers,
+                                     shard_probe=args.shard_probe)
+    except ValidationError as exc:
+        print(f"error: cannot search index {args.index!r}: {exc}",
+              file=sys.stderr)
+        return 2
     print(f"index:   {index!r}")
     print(f"queries: {source}")
     row = {
@@ -242,7 +254,8 @@ def _run_search(args) -> int:
                    qps=stats.queries_per_second)
         if getattr(stats, "n_shards", 1) > 1:
             row.update(shards=stats.n_shards,
-                       shard_workers=stats.shard_workers)
+                       shard_workers=stats.shard_workers,
+                       shard_probe=stats.shard_probe)
     print(render_table([row]))
     return 0
 

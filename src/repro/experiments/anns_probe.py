@@ -35,7 +35,12 @@ def run(scale: ExperimentScale = DEFAULT, *, n_queries: int = 100,
     ``n_shards > 1`` additionally builds an ``n_shards``-way
     :class:`~repro.index.ShardedIndex` per backend (partitioned by
     ``partitioner``) and reports its row next to the monolithic one, so a
-    single probe run compares 1-shard vs S-shard recall/qps.
+    single probe run compares 1-shard vs S-shard recall/qps.  With the
+    geometric ``gkmeans`` partitioner the sharded index is evaluated at
+    every routed fan-out ``shard_probe`` ∈ {1, 2, S} (deduplicated), so the
+    probe reports the recall@k vs qps frontier the ``shard_probe`` knob
+    trades along; ``round_robin`` shards carry no routing geometry and get
+    the single full fan-out row.
     """
     corpus = make_sift_like(scale.n_samples, scale.n_features,
                             random_state=scale.random_state)
@@ -59,29 +64,45 @@ def run(scale: ExperimentScale = DEFAULT, *, n_queries: int = 100,
                     "cluster_size": scale.cluster_size})
 
     shard_counts = [1] if n_shards <= 1 else [1, n_shards]
+    # The routed frontier only exists for geometric shards: probe each
+    # query's P nearest shards for P ∈ {1, 2, S}; full fan-out otherwise.
+    if n_shards > 1 and partitioner == "gkmeans":
+        shard_probes = sorted({min(p, n_shards) for p in (1, 2, n_shards)})
+    else:
+        shard_probes = [n_shards]
     rows = []
     for name, spec in sorted(specs.items()):
         for shards in shard_counts:
             index = build_index(base, spec.replace(n_shards=shards,
                                                    partitioner=partitioner))
-            # Sharded rows fan out across all shards so the reported qps
-            # measures parallel sharded serving (results are identical at
-            # every fan-out level).
-            evaluation = evaluate_search(
-                index, queries, n_results=n_results, workers=workers,
-                shard_workers=None if shards == 1 else shards)
-            stats = evaluation.serving_stats
-            label = name if shards == 1 else f"{name} × {shards} shards"
-            rows.append({
-                "graph": label,
-                "shards": shards,
-                "recall@1": evaluation.recall_at_1,
-                f"recall@{n_results}": evaluation.recall_at_k,
-                "query_ms": evaluation.mean_query_seconds * 1000.0,
-                "distance_evals": evaluation.mean_distance_evaluations,
-                "build_seconds": index.build_seconds,
-                "qps": None if stats is None else stats.queries_per_second,
-            })
+            probes = [1] if shards == 1 else shard_probes
+            for probe in probes:
+                # Sharded rows fan out on as many threads as shards so the
+                # reported qps measures parallel sharded serving (the
+                # fan-out level never changes results; shard_probe does).
+                evaluation = evaluate_search(
+                    index, queries, n_results=n_results, workers=workers,
+                    shard_workers=None if shards == 1 else shards,
+                    shard_probe=None if shards == 1 else probe)
+                stats = evaluation.serving_stats
+                if shards == 1:
+                    label = name
+                elif probe == shards:
+                    label = f"{name} × {shards} shards"
+                else:
+                    label = f"{name} × {shards} shards (probe {probe})"
+                rows.append({
+                    "graph": label,
+                    "shards": shards,
+                    "shard_probe": probe if shards > 1 else None,
+                    "recall@1": evaluation.recall_at_1,
+                    f"recall@{n_results}": evaluation.recall_at_k,
+                    "query_ms": evaluation.mean_query_seconds * 1000.0,
+                    "distance_evals": evaluation.mean_distance_evaluations,
+                    "build_seconds": index.build_seconds,
+                    "qps": None if stats is None
+                    else stats.queries_per_second,
+                })
     return {
         "table": rows,
         "metadata": {
@@ -92,6 +113,7 @@ def run(scale: ExperimentScale = DEFAULT, *, n_queries: int = 100,
             "workers": workers,
             "n_shards": n_shards,
             "partitioner": partitioner,
+            "shard_probes": shard_probes if n_shards > 1 else None,
             "search": "frontier-merged batch",
         },
     }

@@ -186,7 +186,7 @@ class Index:
     # ------------------------------------------------------------------ #
     def search(self, queries: np.ndarray, n_results: int = 10, *,
                pool_size: int | None = None, strategy: str | None = None,
-               workers: int | None = None,
+               workers: int | None = None, shard_probe: int | None = None,
                random_state=None) -> tuple[np.ndarray, np.ndarray]:
         """Serve one query or a batch of queries.
 
@@ -209,6 +209,11 @@ class Index:
             to ``spec.workers``).  Results are bit-for-bit identical for
             every worker count; ignored for single queries and the
             per-query strategy.
+        shard_probe:
+            Accepted for signature parity with
+            :meth:`ShardedIndex.search
+            <repro.index.sharded.ShardedIndex.search>`: a monolithic index
+            is its own single shard, so only ``None`` or ``1`` are valid.
         random_state:
             Entry-point seed override; defaults to ``spec.random_state``, so
             repeated calls are deterministic.
@@ -218,6 +223,8 @@ class Index:
         (indices, distances):
             Neighbour ids and distances, sorted by ascending distance.
         """
+        if shard_probe is not None:
+            check_positive_int(shard_probe, name="shard_probe", maximum=1)
         rng = check_random_state(self.spec.random_state
                                  if random_state is None else random_state)
         if np.asarray(queries).ndim == 1:

@@ -22,17 +22,29 @@ so ``shard_workers`` (like ``workers`` inside each shard) is a pure
 throughput knob, and a :meth:`ShardedIndex.load` round-trip serves
 bit-for-bit identical results at every shard-parallelism level.
 
+For the geometric ``gkmeans`` partitioner the coarse centroids are kept with
+the index, which unlocks *routed* search: ``shard_probe=P`` scores each query
+batch against the S centroids in one small gemm, routes every query to its P
+nearest shards and walks only the shards that received queries, merging the
+per-shard top-k exactly like the full fan-out.  ``P = S`` is bit-for-bit the
+full fan-out; ``P < S`` trades recall for throughput and the routing decision
+is deterministic and ``shard_workers``-invariant.
+
 Persistence is one directory::
 
     corpus.shards/
-      manifest.npz      format version, spec JSON, global row id per shard
+      manifest.npz      format version, spec JSON, global row id per shard,
+                        coarse routing centroids (gkmeans partitioner)
       shard_0000.idx    Index NPZ of shard 0 (rows shard_ids[0])
       shard_0001.idx    ...
 
 written atomically (a temp directory is renamed into place) and validated on
 load — a missing shard file, a foreign manifest or an id map that is not a
 permutation of the dataset rows all raise
-:class:`~repro.exceptions.ValidationError`.
+:class:`~repro.exceptions.ValidationError`.  Directories written by the
+pre-routing format (version 1, no centroids) still load and serve the full
+fan-out; requesting ``shard_probe < n_shards`` on them is a clear
+``ValidationError`` instead of silent wrong routing.
 """
 
 from __future__ import annotations
@@ -49,7 +61,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cluster import KMeans
-from ..distance import DistanceEngine
+from ..distance import DistanceEngine, resolve_dtype
 from ..exceptions import ValidationError
 from ..validation import (
     check_data_matrix,
@@ -62,8 +74,12 @@ from .spec import IndexSpec, PARTITIONERS
 __all__ = ["ShardedIndex", "ShardedServingStats", "SHARDED_FORMAT_VERSION",
            "MANIFEST_NAME", "partition_dataset", "build_index", "load_index"]
 
-#: Version of the sharded directory layout.
-SHARDED_FORMAT_VERSION = 1
+#: Version of the sharded directory layout.  Version 2 added the optional
+#: ``centroids`` key (coarse routing centroids of the gkmeans partitioner);
+#: version-1 directories still load, with routing unavailable.
+SHARDED_FORMAT_VERSION = 2
+
+_READABLE_FORMAT_VERSIONS = (1, 2)
 
 #: File name of the manifest NPZ inside a sharded index directory.
 MANIFEST_NAME = "manifest.npz"
@@ -80,14 +96,29 @@ def _shard_name(shard: int) -> str:
     return f"shard_{shard:04d}.idx"
 
 
+def _coarse_metric(metric: str) -> str:
+    """Metric of the coarse partitioning k-means for a serving ``metric``.
+
+    The coarse split only needs locality, not the serving metric's
+    geometry — metrics without a k-means structure (dot) fall back to the
+    squared-Euclidean partition.
+    """
+    return metric if metric in ("sqeuclidean", "cosine") else "sqeuclidean"
+
+
 def partition_dataset(data: np.ndarray, n_shards: int, partitioner: str, *,
                       metric: str = "sqeuclidean", dtype="float64",
-                      random_state=0) -> list[np.ndarray]:
+                      random_state=0, return_centroids: bool = False):
     """Split ``data`` into ``n_shards`` row-id groups.
 
     Returns one sorted ``(n_s,)`` int64 array of global row ids per shard;
     together the arrays form a permutation of ``arange(len(data))``.  The
-    assignment is deterministic in ``random_state``.
+    assignment is deterministic in ``random_state``.  With
+    ``return_centroids=True`` the return value is ``(shard_ids, centroids)``
+    where ``centroids`` is the ``(n_shards, d)`` coarse centroid matrix the
+    ``gkmeans`` partitioner assigned against (in the transformed clustering
+    space — l2-normalised rows for cosine) and ``None`` for the non-geometric
+    cases (``round_robin``, single shard).
 
     Raises :class:`~repro.exceptions.ValidationError` when the partitioner is
     unknown or when any shard would receive fewer than 2 points (too few to
@@ -99,28 +130,35 @@ def partition_dataset(data: np.ndarray, n_shards: int, partitioner: str, *,
         raise ValidationError(
             f"unknown partitioner {partitioner!r}; expected one of "
             f"{list(PARTITIONERS)}")
+    centroids = None
     if n_shards == 1:
-        return [np.arange(n, dtype=np.int64)]
-    if partitioner == "round_robin":
-        return [np.arange(shard, n, n_shards, dtype=np.int64)
-                for shard in range(n_shards)]
-    # The coarse split only needs locality, not the serving metric's
-    # geometry — metrics without a k-means structure (dot) fall back to the
-    # squared-Euclidean partition.
-    coarse_metric = metric if metric in ("sqeuclidean", "cosine") \
-        else "sqeuclidean"
-    coarse = KMeans(n_shards, init="k-means++", max_iter=_PARTITION_ITER,
-                    random_state=check_random_state(random_state),
-                    metric=coarse_metric, dtype=dtype)
-    labels = coarse.fit(data).labels_
-    shard_ids = [np.flatnonzero(labels == shard).astype(np.int64)
-                 for shard in range(n_shards)]
-    starved = [shard for shard, ids in enumerate(shard_ids) if ids.size < 2]
-    if starved:
-        raise ValidationError(
-            f"gkmeans partitioner left shards {starved} with fewer than 2 "
-            f"points (n={n}, n_shards={n_shards}); use fewer shards or the "
-            "round_robin partitioner")
+        shard_ids = [np.arange(n, dtype=np.int64)]
+    elif partitioner == "round_robin":
+        shard_ids = [np.arange(shard, n, n_shards, dtype=np.int64)
+                     for shard in range(n_shards)]
+    else:
+        coarse = KMeans(n_shards, init="k-means++",
+                        max_iter=_PARTITION_ITER,
+                        random_state=check_random_state(random_state),
+                        metric=_coarse_metric(metric), dtype=dtype)
+        coarse.fit(data)
+        labels = coarse.labels_
+        # The centroids live in the clustering space the labels were
+        # assigned in; routed search replays exactly that assignment for
+        # queries, so keep them in the engine dtype verbatim.
+        centroids = np.ascontiguousarray(coarse.cluster_centers_,
+                                         dtype=resolve_dtype(dtype))
+        shard_ids = [np.flatnonzero(labels == shard).astype(np.int64)
+                     for shard in range(n_shards)]
+        starved = [shard for shard, ids in enumerate(shard_ids)
+                   if ids.size < 2]
+        if starved:
+            raise ValidationError(
+                f"gkmeans partitioner left shards {starved} with fewer "
+                f"than 2 points (n={n}, n_shards={n_shards}); use fewer "
+                "shards or the round_robin partitioner")
+    if return_centroids:
+        return shard_ids, centroids
     return shard_ids
 
 
@@ -136,24 +174,45 @@ class ShardedServingStats:
     Attributes
     ----------
     n_shards:
-        Number of shards the batch fanned out to.
+        Number of shards of the index.
     shard_workers:
         Threads the shard fan-out ran on (clamped to the shard count).
         Purely a throughput knob — results are identical at every level.
     n_queries:
-        Number of queries served (every shard sees the full batch).
+        Number of queries served.
+    shard_probe:
+        Shards each query was routed to: ``n_shards`` for the exact full
+        fan-out, less for routed (approximate) search.
+    routing_gemms:
+        Query-against-centroids gemms the routing step issued (0 for the
+        full fan-out, 1 for a routed batch).
+    queries_per_shard:
+        Per-shard routed query counts, in shard order (the full batch size
+        for every shard under full fan-out).
     shard_stats:
-        Per-shard :class:`~repro.search.frontier.ServingStats`, in shard
-        order.
+        Per-searched-shard :class:`~repro.search.frontier.ServingStats`, in
+        shard order; routed searches skip shards that received no queries,
+        so this may be shorter than ``n_shards``.
     total_seconds:
-        Wall-clock time of the whole sharded call, merge included.
+        Wall-clock time of the whole sharded call, routing and merge
+        included.
     """
 
     n_shards: int
     shard_workers: int
     n_queries: int
+    shard_probe: int = 0
+    routing_gemms: int = 0
+    queries_per_shard: tuple = ()
     shard_stats: tuple = ()
     total_seconds: float = 0.0
+
+    @property
+    def probed_shards_per_query(self) -> float:
+        """Mean number of shards that served each query."""
+        if self.n_queries <= 0:
+            return 0.0
+        return float(sum(self.queries_per_shard)) / self.n_queries
 
     @property
     def workers(self) -> int:
@@ -205,12 +264,19 @@ class ShardedIndex:
     shard_ids:
         Per-shard ``(n_s,)`` global row ids: ``shards[s].data`` is
         ``data[shard_ids[s]]``.
+    centroids:
+        ``(n_shards, d)`` coarse centroids the ``gkmeans`` partitioner
+        assigned rows against (in the transformed clustering space), or
+        ``None`` when the index carries no routing geometry (round_robin
+        partitioner, single shard, or a pre-routing saved directory).
+        Routed search (``shard_probe < n_shards``) requires them.
     build_seconds:
         Wall-clock construction time — partitioning plus the pooled shard
         builds (``None`` for loaded indexes).
     """
 
     def __init__(self, shards: list, shard_ids: list, spec: IndexSpec, *,
+                 centroids: np.ndarray | None = None,
                  build_seconds: float | None = None) -> None:
         if not isinstance(spec, IndexSpec):
             raise ValidationError(
@@ -236,10 +302,17 @@ class ShardedIndex:
             raise ValidationError(
                 "shard id maps must form a permutation of the dataset rows "
                 f"0..{total - 1}")
+        if centroids is not None:
+            centroids = np.asarray(centroids)
+            if centroids.shape != (len(shards), shards[0].n_features):
+                raise ValidationError(
+                    f"routing centroids must have shape ({len(shards)}, "
+                    f"{shards[0].n_features}), got {centroids.shape}")
         self.spec = spec
         self.shards = list(shards)
         self.shard_ids = [np.asarray(ids, dtype=np.int64)
                           for ids in shard_ids]
+        self.centroids = centroids
         self.build_seconds = build_seconds
         self._data: np.ndarray | None = None
         self.last_per_query_evaluations: np.ndarray | None = None
@@ -331,9 +404,10 @@ class ShardedIndex:
         engine = DistanceEngine(spec.metric, spec.dtype)
         data = check_data_matrix(data, min_samples=2 * spec.n_shards,
                                  dtype=engine.dtype)
-        shard_ids = partition_dataset(
+        shard_ids, centroids = partition_dataset(
             data, spec.n_shards, spec.partitioner, metric=spec.metric,
-            dtype=spec.dtype, random_state=spec.random_state)
+            dtype=spec.dtype, random_state=spec.random_state,
+            return_centroids=True)
         if build_workers is None:
             build_workers = min(len(shard_ids), os.cpu_count() or 1)
         build_workers = check_positive_int(build_workers,
@@ -341,7 +415,7 @@ class ShardedIndex:
 
         def build_shard(ids: np.ndarray) -> Index:
             shard_spec = spec.replace(
-                n_shards=1,
+                n_shards=1, shard_probe=None,
                 n_neighbors=min(spec.n_neighbors, ids.size - 1))
             return Index.build(data[ids], shard_spec)
 
@@ -350,7 +424,7 @@ class ShardedIndex:
         else:
             with ThreadPoolExecutor(max_workers=build_workers) as executor:
                 shards = list(executor.map(build_shard, shard_ids))
-        return cls(shards, shard_ids, spec,
+        return cls(shards, shard_ids, spec, centroids=centroids,
                    build_seconds=time.perf_counter() - started)
 
     # ------------------------------------------------------------------ #
@@ -359,16 +433,28 @@ class ShardedIndex:
     def search(self, queries: np.ndarray, n_results: int = 10, *,
                pool_size: int | None = None, strategy: str | None = None,
                workers: int | None = None, shard_workers: int | None = None,
+               shard_probe: int | None = None,
                random_state=None) -> tuple[np.ndarray, np.ndarray]:
-        """Serve one query or a batch by fanning out across all shards.
+        """Serve one query or a batch, fanning out to all or routed shards.
 
-        Every shard searches the full batch (its own rows only), then the
-        per-shard top-k are merged by true distance into the global top-k.
+        By default (``shard_probe`` unset in call and spec) every shard
+        searches the full batch (its own rows only), then the per-shard
+        top-k are merged by true distance into the global top-k.
         Parameters match :meth:`Index.search <repro.index.facade.Index.search>`
         plus ``shard_workers`` — the threads the shard fan-out runs on
-        (default 1, clamped to the shard count).  Both ``workers`` (inside
-        each shard) and ``shard_workers`` (across shards) are pure throughput
-        knobs: results are bit-for-bit identical at every level.
+        (default 1, clamped to the shard count) — and ``shard_probe``.
+        Both ``workers`` (inside each shard) and ``shard_workers`` (across
+        shards) are pure throughput knobs: results are bit-for-bit identical
+        at every level.
+
+        ``shard_probe=P`` routes each query to its ``P`` nearest shards
+        (one gemm of the batch against the persisted coarse centroids) and
+        walks only the shards that received queries.  ``P = n_shards`` is
+        bit-for-bit the full fan-out; ``P < n_shards`` is an approximation
+        knob (recall may drop for queries whose true neighbours live in an
+        unprobed shard) and requires the geometric ``gkmeans`` partitioner's
+        centroids.  The routing decision is deterministic and
+        ``shard_workers``-invariant.  Defaults to ``spec.shard_probe``.
 
         Returns ``(indices, distances)`` in global row ids, shaped exactly
         like the monolithic index's output.
@@ -379,27 +465,35 @@ class ShardedIndex:
         shard_workers = 1 if shard_workers is None else check_positive_int(
             shard_workers, name="shard_workers")
         shard_workers = min(shard_workers, self.n_shards)
+        probe = self.spec.shard_probe if shard_probe is None else shard_probe
+        probe = self.n_shards if probe is None else check_positive_int(
+            probe, name="shard_probe", maximum=self.n_shards)
         seed = self.spec.random_state if random_state is None else random_state
         started = time.perf_counter()
+        if probe < self.n_shards:
+            if self.centroids is None:
+                if self.spec.partitioner == "round_robin":
+                    raise ValidationError(
+                        f"shard_probe={probe} < n_shards={self.n_shards} "
+                        "requires the geometric 'gkmeans' partitioner; "
+                        "round_robin shards are dealt by row order and "
+                        "carry no centroids to route against")
+                raise ValidationError(
+                    f"shard_probe={probe} < n_shards={self.n_shards} needs "
+                    "the coarse routing centroids, but this index predates "
+                    "the routed format (manifest without centroids); "
+                    "rebuild and re-save it to enable routed search")
+            return self._routed_search(
+                queries, n_results, single=single, probe=probe,
+                pool_size=pool_size, strategy=strategy, workers=workers,
+                shard_workers=shard_workers, seed=seed, started=started)
 
         def search_shard(shard: int) -> tuple:
-            index = self.shards[shard]
-            shard_k = min(n_results, index.n_points)
-            if single:
-                idx, dist = index.search(queries, shard_k,
-                                         pool_size=pool_size,
-                                         random_state=seed)
-                idx, dist = idx[None, :], dist[None, :]
-            else:
-                idx, dist = index.search(queries, shard_k,
-                                         pool_size=pool_size,
-                                         strategy=strategy, workers=workers,
-                                         random_state=seed)
-            reached = idx >= 0
-            ids = np.where(reached, self.shard_ids[shard][np.where(
-                reached, idx, 0)], -1)
-            return (ids, dist, index.last_per_query_evaluations.copy(),
-                    index.last_serving_stats)
+            shard_k = min(n_results, self.shards[shard].n_points)
+            return self._search_one_shard(
+                shard, queries, shard_k, single=single,
+                pool_size=pool_size, strategy=strategy, workers=workers,
+                seed=seed)
 
         # Shards share no state and each is internally deterministic, so the
         # fan-out order cannot influence the merged output.
@@ -431,7 +525,135 @@ class ShardedIndex:
         else:
             self.last_serving_stats = ShardedServingStats(
                 n_shards=self.n_shards, shard_workers=shard_workers,
-                n_queries=m, shard_stats=shard_stats,
+                n_queries=m, shard_probe=self.n_shards, routing_gemms=0,
+                queries_per_shard=(m,) * self.n_shards,
+                shard_stats=shard_stats,
+                total_seconds=time.perf_counter() - started)
+        if single:
+            return out_idx[0], out_dist[0]
+        return out_idx, out_dist
+
+    def _search_one_shard(self, shard: int, queries: np.ndarray,
+                          shard_k: int, *, single: bool, pool_size,
+                          strategy, workers, seed) -> tuple:
+        """Walk one shard and lift its results to global row ids.
+
+        Returns ``(global ids, distances, per-query evaluation counts,
+        serving stats)`` with the 2-D batch shape even for ``single``
+        queries; unreached entries stay ``(-1, inf)`` pairs for the merge.
+        Shared by the full fan-out and the routed path so the remapping
+        stays byte-identical between them.
+        """
+        index = self.shards[shard]
+        if single:
+            idx, dist = index.search(queries, shard_k, pool_size=pool_size,
+                                     random_state=seed)
+            idx, dist = idx[None, :], dist[None, :]
+        else:
+            idx, dist = index.search(queries, shard_k, pool_size=pool_size,
+                                     strategy=strategy, workers=workers,
+                                     random_state=seed)
+        reached = idx >= 0
+        ids = np.where(reached, self.shard_ids[shard][np.where(
+            reached, idx, 0)], -1)
+        return (ids, dist, index.last_per_query_evaluations.copy(),
+                index.last_serving_stats)
+
+    def _route(self, queries: np.ndarray, probe: int) -> np.ndarray:
+        """``(m, probe)`` nearest-shard ids per query, nearest first.
+
+        Replays the partitioner's own assignment rule: queries are scored
+        against the persisted coarse centroids in the transformed
+        clustering space (l2-normalised rows for cosine) with one gemm.
+        ``argsort`` with a stable kind makes centroid-distance ties resolve
+        by shard order, so the routing is deterministic.
+        """
+        coarse = DistanceEngine(_coarse_metric(self.metric), self.spec.dtype)
+        prepared = coarse.prepare_clustering(queries)
+        scores = coarse.clustering_engine().cross(prepared, self.centroids)
+        return np.argsort(scores, axis=1, kind="stable")[:, :probe]
+
+    def _routed_search(self, queries: np.ndarray, n_results: int, *,
+                       single: bool, probe: int, pool_size, strategy,
+                       workers, shard_workers: int, seed,
+                       started: float) -> tuple[np.ndarray, np.ndarray]:
+        """Serve a batch on each query's ``probe`` nearest shards only.
+
+        Per-shard query subsets are regrouped into one batched walk per
+        probed shard; the per-shard results are scatter-merged back into
+        batch order at per-(query, shard) column offsets fixed by shard
+        order, so the merge — a stable distance sort exactly like the full
+        fan-out's — is deterministic and ``shard_workers``-invariant.
+        """
+        queries = np.asarray(queries)
+        if single:
+            queries = queries[None, :]
+        m = queries.shape[0]
+        routes = self._route(queries, probe)
+        probed_mask = np.zeros((m, self.n_shards), dtype=bool)
+        probed_mask[np.arange(m)[:, None], routes] = True
+        shard_rows = [np.flatnonzero(probed_mask[:, shard])
+                      for shard in range(self.n_shards)]
+        probed = [shard for shard in range(self.n_shards)
+                  if shard_rows[shard].size]
+        # Column offsets of every (query, shard) block in the merge buffer:
+        # query q's candidates from shard s start where the widths of q's
+        # probed shards with smaller ids end.
+        widths = np.array([min(n_results, index.n_points)
+                           for index in self.shards], dtype=np.int64)
+        contrib = probed_mask * widths[None, :]
+        ends = np.cumsum(contrib, axis=1)
+        starts_at = ends - contrib
+        buffer_width = max(int(ends[:, -1].max()), n_results)
+
+        def search_shard(shard: int) -> tuple:
+            return self._search_one_shard(
+                shard, queries[shard_rows[shard]], int(widths[shard]),
+                single=False, pool_size=pool_size, strategy=strategy,
+                workers=workers, seed=seed)
+
+        # Shards share no state and each is internally deterministic, so
+        # the fan-out order cannot influence the scatter-merge below.
+        if min(shard_workers, len(probed)) == 1:
+            parts = [search_shard(shard) for shard in probed]
+        else:
+            with ThreadPoolExecutor(
+                    max_workers=min(shard_workers, len(probed))) as executor:
+                parts = list(executor.map(search_shard, probed))
+
+        all_ids = np.full((m, buffer_width), -1, dtype=np.int64)
+        all_dist = np.full((m, buffer_width), np.inf,
+                           dtype=parts[0][1].dtype)
+        # Routing scored every query against all centroids: one gemm,
+        # n_shards evaluations per query, charged before the walks.
+        evaluations = np.full(m, self.n_shards, dtype=np.int64)
+        for shard, (ids, dist, evals, _) in zip(probed, parts):
+            rows = shard_rows[shard]
+            cols = starts_at[rows, shard][:, None] + \
+                np.arange(widths[shard])[None, :]
+            all_ids[rows[:, None], cols] = ids
+            all_dist[rows[:, None], cols] = dist
+            evaluations[rows] += evals
+
+        # Same merge as the full fan-out: a stable sort keeps
+        # shard-then-rank order on ties, unreached (-1, inf) pairs sort
+        # last and become the output padding.
+        order = np.argsort(all_dist, axis=1, kind="stable")[:, :n_results]
+        out_idx = np.take_along_axis(all_ids, order, axis=1)
+        out_dist = np.take_along_axis(all_dist, order, axis=1)
+
+        self.last_per_query_evaluations = evaluations
+        self.last_n_evaluations = int(evaluations.sum())
+        shard_stats = tuple(part[3] for part in parts)
+        if single or any(stats is None for stats in shard_stats):
+            self.last_serving_stats = None
+        else:
+            self.last_serving_stats = ShardedServingStats(
+                n_shards=self.n_shards, shard_workers=shard_workers,
+                n_queries=m, shard_probe=probe, routing_gemms=1,
+                queries_per_shard=tuple(
+                    int(rows.size) for rows in shard_rows),
+                shard_stats=shard_stats,
                 total_seconds=time.perf_counter() - started)
         if single:
             return out_idx[0], out_dist[0]
@@ -460,6 +682,8 @@ class ShardedIndex:
                 "shard_ids": np.concatenate(self.shard_ids),
                 "shard_offsets": offsets.astype(np.int64),
             }
+            if self.centroids is not None:
+                manifest["centroids"] = self.centroids
             with open(os.path.join(tmp_dir, MANIFEST_NAME), "wb") as stream:
                 np.savez(stream, **manifest)
             if os.path.lexists(path):
@@ -510,14 +734,19 @@ class ShardedIndex:
                         f"sharded index manifest {manifest_path!r} is "
                         f"missing keys {missing}")
                 version = int(archive["sharded_format_version"])
-                if version != SHARDED_FORMAT_VERSION:
+                if version not in _READABLE_FORMAT_VERSIONS:
                     raise ValidationError(
                         f"sharded index {path!r} has format version "
-                        f"{version}, this build reads version "
-                        f"{SHARDED_FORMAT_VERSION}")
+                        f"{version}, this build reads versions "
+                        f"{list(_READABLE_FORMAT_VERSIONS)}")
                 spec = IndexSpec.from_json(str(archive["spec_json"]))
                 merged_ids = archive["shard_ids"]
                 offsets = archive["shard_offsets"]
+                # Version-1 directories predate routing and carry no
+                # centroids; they load and serve the full fan-out, and
+                # requesting shard_probe on them fails with a clear error.
+                centroids = (archive["centroids"]
+                             if "centroids" in archive.files else None)
         except ValidationError:
             raise
         except (OSError, ValueError, KeyError, EOFError,
@@ -544,7 +773,7 @@ class ShardedIndex:
                     f"sharded index {path!r}: shard {shard} is missing or "
                     f"corrupt: {exc}") from exc
         try:
-            return cls(shards, shard_ids, spec)
+            return cls(shards, shard_ids, spec, centroids=centroids)
         except ValidationError as exc:
             raise ValidationError(
                 f"sharded index {path!r} is inconsistent: {exc}") from exc

@@ -115,6 +115,15 @@ class IndexSpec:
         with the named partitioner (see :data:`PARTITIONERS`) and builds one
         sub-index per shard.  Like ``workers``, shard fan-out at serve time
         is a pure throughput knob.
+    shard_probe:
+        Default routed fan-out of sharded searches: each query is served by
+        its ``shard_probe`` nearest shards (scored against the persisted
+        coarse centroids) instead of all of them.  ``None`` (the default)
+        and ``shard_probe == n_shards`` are the exact full fan-out;
+        ``shard_probe < n_shards`` is an approximation knob trading recall
+        for throughput, and requires the geometric ``gkmeans`` partitioner —
+        ``round_robin`` shards carry no geometry to route against, so the
+        combination is rejected.
     symmetrize:
         Whether search adds reverse edges to the adjacency (recommended).
     random_state:
@@ -136,6 +145,7 @@ class IndexSpec:
     workers: int = 1
     n_shards: int = 1
     partitioner: str = "round_robin"
+    shard_probe: int | None = None
     symmetrize: bool = True
     random_state: int = 0
     params: Mapping = field(default_factory=dict)
@@ -169,6 +179,17 @@ class IndexSpec:
             raise ValidationError(
                 f"unknown partitioner {self.partitioner!r}; expected one of "
                 f"{list(PARTITIONERS)}")
+        if self.shard_probe is not None:
+            object.__setattr__(self, "shard_probe", check_positive_int(
+                self.shard_probe, name="shard_probe",
+                maximum=self.n_shards))
+            if self.partitioner == "round_robin" and \
+                    self.shard_probe < self.n_shards:
+                raise ValidationError(
+                    f"shard_probe={self.shard_probe} < n_shards="
+                    f"{self.n_shards} requires the geometric 'gkmeans' "
+                    "partitioner; round_robin shards are dealt by row "
+                    "order and carry no centroids to route against")
         if self.seed_sample is not None:
             object.__setattr__(self, "seed_sample", check_positive_int(
                 self.seed_sample, name="seed_sample"))
@@ -209,6 +230,7 @@ class IndexSpec:
             "workers": self.workers,
             "n_shards": self.n_shards,
             "partitioner": self.partitioner,
+            "shard_probe": self.shard_probe,
             "symmetrize": self.symmetrize,
             "random_state": self.random_state,
             "params": dict(self.params),
@@ -226,7 +248,8 @@ class IndexSpec:
                 f"index spec must be a mapping, got {type(payload).__name__}")
         known = {"backend", "n_neighbors", "metric", "dtype", "pool_size",
                  "n_starts", "seed_sample", "workers", "n_shards",
-                 "partitioner", "symmetrize", "random_state", "params"}
+                 "partitioner", "shard_probe", "symmetrize", "random_state",
+                 "params"}
         unknown = set(payload) - known
         if unknown:
             raise ValidationError(

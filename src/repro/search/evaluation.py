@@ -57,7 +57,8 @@ class SearchEvaluation:
 def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
                     pool_size: int | None = None, batch: bool | None = None,
                     workers: int | None = None,
-                    shard_workers: int | None = None) -> SearchEvaluation:
+                    shard_workers: int | None = None,
+                    shard_probe: int | None = None) -> SearchEvaluation:
     """Evaluate a searcher against exact brute-force results.
 
     Parameters
@@ -86,6 +87,11 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
         Shard fan-out threads for a :class:`~repro.index.ShardedIndex`
         (likewise a pure throughput knob).  Only valid for sharded
         searchers; ignored when ``None``.
+    shard_probe:
+        Routed fan-out for a :class:`~repro.index.ShardedIndex` — each
+        query is served by its ``shard_probe`` nearest shards only.  Unlike
+        the knobs above this trades recall for throughput (the evaluation
+        reports exactly that frontier); ignored when ``None``.
 
     The brute-force oracle is computed under the searcher's own metric, so
     cosine / inner-product searchers are scored against the right ground
@@ -101,6 +107,14 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
             f"{type(searcher).__name__}")
     if batch is None:
         batch = is_index
+    if (not batch or not is_index) and \
+            (shard_workers is not None or shard_probe is not None):
+        # Silently dropping these would report a plain evaluation the
+        # caller believes is sharded/routed.
+        raise ValidationError(
+            "shard_workers/shard_probe only apply to batched searches of "
+            "a (sharded) index; remove them or use batch=True with an "
+            "Index/ShardedIndex searcher")
 
     engine = getattr(searcher, "engine_", None)
     exact_idx, _ = brute_force_neighbors(queries, searcher.data, n_results,
@@ -111,8 +125,11 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
     if batch:
         started = time.perf_counter()
         if is_index:
-            fan_out = {} if shard_workers is None else \
-                {"shard_workers": shard_workers}
+            fan_out = {}
+            if shard_workers is not None:
+                fan_out["shard_workers"] = shard_workers
+            if shard_probe is not None:
+                fan_out["shard_probe"] = shard_probe
             approx, _ = searcher.search(queries, n_results,
                                         pool_size=pool_size, workers=workers,
                                         **fan_out)

@@ -157,8 +157,10 @@ class TestIndexCommands:
         assert args.shards == 4
         assert args.partitioner == "gkmeans"
         args = build_parser().parse_args(["search", "x.shards",
-                                          "--shard-workers", "2"])
+                                          "--shard-workers", "2",
+                                          "--shard-probe", "1"])
         assert args.shard_workers == 2
+        assert args.shard_probe == 1
 
     def test_sharded_build_search_round_trip(self, tmp_path, capsys):
         """``--shards`` builds a sharded directory and serves it back.
@@ -193,6 +195,48 @@ class TestIndexCommands:
         for column in ("recall@1", "recall@5", "distance_evals"):
             assert fetch(fanned, column) == fetch(sequential, column)
         assert fetch(fanned, "shard_workers") == "2"
+
+    def test_routed_search_round_trip(self, tmp_path, capsys):
+        """``--shard-probe`` serves a gkmeans-partitioned index routed."""
+        path = str(tmp_path / "routed.shards")
+        assert main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "600", "--n-features", "8",
+                     "--backend", "nndescent", "--n-neighbors", "6",
+                     "--shards", "3", "--partitioner", "gkmeans",
+                     "--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(["search", path, "--n-queries", "30", "--k", "5",
+                     "--shard-probe", "1", "--shard-workers", "2"]) == 0
+        routed = capsys.readouterr().out
+        assert "shard_probe" in routed
+
+        def fetch(text, column):
+            lines = text.splitlines()
+            header, row = lines[-3].split(), lines[-1].split()
+            return row[header.index(column)]
+
+        assert fetch(routed, "shard_probe") == "1"
+        # The full probe is the plain fan-out.
+        assert main(["search", path, "--n-queries", "30", "--k", "5",
+                     "--shard-probe", "3"]) == 0
+        assert fetch(capsys.readouterr().out, "shard_probe") == "3"
+
+    def test_shard_probe_on_round_robin_exits_cleanly(self, tmp_path,
+                                                      capsys):
+        """Routing a non-geometric index is a one-line error, exit 2."""
+        path = str(tmp_path / "rr.shards")
+        assert main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "600", "--n-features", "8",
+                     "--backend", "random", "--n-neighbors", "5",
+                     "--shards", "3", "--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(["search", path, "--n-queries", "10", "--k", "3",
+                     "--shard-probe", "1"]) == 2
+        captured = capsys.readouterr()
+        error = captured.err.strip()
+        assert error.startswith("error:")
+        assert "round_robin" in error
+        assert "\n" not in error
 
     def test_shard_workers_ignored_for_single_file_index(self, tmp_path,
                                                          capsys):

@@ -244,6 +244,22 @@ class TestAnnsProbe:
             if row["shards"] > 1:
                 assert "shards" in row["graph"]
 
+    def test_probe_reports_routed_frontier(self):
+        payload = anns_probe.run(TINY, n_queries=20, n_results=5,
+                                 pool_size=32, n_shards=2,
+                                 partitioner="gkmeans")
+        assert payload["metadata"]["shard_probes"] == [1, 2]
+        for backend in {row["graph"].split(" × ")[0]
+                        for row in payload["table"]}:
+            rows = [row for row in payload["table"]
+                    if row["graph"].split(" × ")[0] == backend
+                    and row["shards"] == 2]
+            # one row per routed fan-out, full probe last
+            assert [row["shard_probe"] for row in rows] == [1, 2]
+            # widening the probe can only add candidates
+            assert rows[0]["recall@5"] <= rows[1]["recall@5"] + 1e-12
+            assert "(probe 1)" in rows[0]["graph"]
+
 
 class TestAblations:
     def test_kappa_sweep(self):

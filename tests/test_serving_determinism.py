@@ -308,6 +308,135 @@ class TestShardFanOutDeterminism:
         assert evaluation.serving_stats.shard_workers == 3
         assert evaluation.serving_stats.n_shards == 4
 
+    def test_evaluate_search_rejects_fanout_knobs_per_query(
+            self, served_sharded):
+        """batch=False cannot honour the sharded knobs — fail, don't
+        silently report a full fan-out as routed."""
+        sharded, queries = served_sharded
+        for knob in ({"shard_workers": 2}, {"shard_probe": 1}):
+            with pytest.raises(ValidationError, match="batch"):
+                evaluate_search(sharded, queries[:4], n_results=3,
+                                batch=False, **knob)
+
+
+class TestRoutedSearchDeterminism:
+    """``shard_probe`` routes deterministically; ``P = S`` IS the fan-out.
+
+    The routing decision (one query-vs-centroids gemm + stable argsort) and
+    the scatter-merge run before/after the per-shard walks, so like every
+    other serving knob ``shard_workers`` must stay a pure throughput axis —
+    routed results are bit-for-bit identical at every fan-out level, across
+    repeats and across a save/load round-trip.  ``shard_probe = n_shards``
+    must take the existing full fan-out path unchanged, byte for byte.
+    """
+
+    @pytest.fixture(scope="class")
+    def routed_setup(self):
+        corpus = make_sift_like(400, 12, random_state=3)
+        return train_query_split(corpus, 40, random_state=3)
+
+    @pytest.fixture(scope="class")
+    def routed_index(self, routed_setup):
+        base, _ = routed_setup
+        spec = IndexSpec(backend="bruteforce", n_neighbors=8, n_shards=4,
+                         partitioner="gkmeans", random_state=5)
+        return ShardedIndex.build(base, spec)
+
+    @staticmethod
+    def _search_bytes(index, queries, **kwargs):
+        idx, dist = index.search(queries, 8, **kwargs)
+        evals = index.last_per_query_evaluations
+        return idx.tobytes() + dist.tobytes() + evals.tobytes()
+
+    @pytest.mark.parametrize("metric,dtype", SHARD_ENGINE_CONFIGS)
+    def test_full_probe_bitwise_equals_full_fanout(self, routed_setup,
+                                                   metric, dtype):
+        base, queries = routed_setup
+        spec = IndexSpec(backend="bruteforce", n_neighbors=8, n_shards=4,
+                         partitioner="gkmeans", metric=metric, dtype=dtype,
+                         random_state=5)
+        sharded = ShardedIndex.build(base, spec)
+        assert self._search_bytes(sharded, queries, shard_probe=4) \
+            == self._search_bytes(sharded, queries)
+
+    def test_routed_shard_workers_bitwise_invariant(self, routed_index,
+                                                    routed_setup):
+        _, queries = routed_setup
+        for probe in (1, 2):
+            baseline = self._search_bytes(routed_index, queries,
+                                          shard_probe=probe,
+                                          shard_workers=1)
+            for shard_workers in (2, 4, 8):
+                assert self._search_bytes(
+                    routed_index, queries, shard_probe=probe,
+                    shard_workers=shard_workers) == baseline
+
+    def test_routed_inner_workers_bitwise_invariant(self, routed_index,
+                                                    routed_setup):
+        _, queries = routed_setup
+        baseline = self._search_bytes(routed_index, queries, shard_probe=2,
+                                      workers=1)
+        assert self._search_bytes(routed_index, queries, shard_probe=2,
+                                  workers=4, shard_workers=4) == baseline
+
+    def test_routed_repeated_searches_byte_identical(self, routed_index,
+                                                     routed_setup):
+        _, queries = routed_setup
+        assert self._search_bytes(routed_index, queries, shard_probe=1) \
+            == self._search_bytes(routed_index, queries, shard_probe=1)
+
+    def test_routed_save_load_round_trip_identical(self, routed_index,
+                                                   routed_setup, tmp_path):
+        _, queries = routed_setup
+        path = tmp_path / "routed.shards"
+        routed_index.save(path)
+        restored = ShardedIndex.load(path)
+        assert np.array_equal(restored.centroids, routed_index.centroids)
+        for probe in (1, 2, 4):
+            assert self._search_bytes(restored, queries, shard_probe=probe,
+                                      shard_workers=4) \
+                == self._search_bytes(routed_index, queries,
+                                      shard_probe=probe)
+
+    def test_spec_default_probe_drives_search(self, routed_setup):
+        base, queries = routed_setup
+        spec = IndexSpec(backend="bruteforce", n_neighbors=8, n_shards=4,
+                         partitioner="gkmeans", shard_probe=2,
+                         random_state=5)
+        sharded = ShardedIndex.build(base, spec)
+        sharded.search(queries, 8)
+        assert sharded.last_serving_stats.shard_probe == 2
+        # An explicit per-call probe overrides the persisted default.
+        sharded.search(queries, 8, shard_probe=4)
+        assert sharded.last_serving_stats.shard_probe == 4
+
+    def test_round_robin_rejects_partial_probe(self, routed_setup):
+        base, queries = routed_setup
+        sharded = ShardedIndex.build(
+            base, IndexSpec(backend="bruteforce", n_neighbors=8, n_shards=4,
+                            random_state=5))
+        with pytest.raises(ValidationError, match="round_robin"):
+            sharded.search(queries, 8, shard_probe=2)
+        # The full probe needs no geometry and stays exact.
+        assert self._search_bytes(sharded, queries, shard_probe=4) \
+            == self._search_bytes(sharded, queries)
+
+    def test_probe_validated_against_shard_count(self, routed_index,
+                                                 routed_setup):
+        _, queries = routed_setup
+        for bad in (0, 5):
+            with pytest.raises(ValidationError, match="shard_probe"):
+                routed_index.search(queries, 8, shard_probe=bad)
+
+    def test_monolithic_index_accepts_only_probe_one(self, serving_setup,
+                                                     served_index):
+        _, queries, _ = serving_setup
+        idx, dist = served_index.search(queries, 6, shard_probe=1)
+        base_idx, base_dist = served_index.search(queries, 6)
+        assert np.array_equal(idx, base_idx)
+        with pytest.raises(ValidationError, match="shard_probe"):
+            served_index.search(queries, 6, shard_probe=2)
+
 
 class TestWorkersValidation:
     def test_spec_workers_roundtrips_through_json(self):

@@ -1,5 +1,6 @@
 """Tests for the sharded index layer (build / search / persist / validate)."""
 
+import json
 import os
 
 import numpy as np
@@ -17,6 +18,7 @@ from repro.index import (
     load_index,
     partition_dataset,
 )
+from repro.search import evaluate_search
 
 N_BASE = 360
 N_QUERIES = 40
@@ -71,6 +73,19 @@ class TestPartitioners:
         idx, dist = sharded.search(queries[:5], 4)
         assert idx.shape == (5, 4)
 
+    def test_partition_returns_centroids_when_asked(self, shard_setup):
+        base, _ = shard_setup
+        groups, centroids = partition_dataset(base, 3, "gkmeans",
+                                              random_state=0,
+                                              return_centroids=True)
+        assert centroids.shape == (3, N_FEATURES)
+        plain = partition_dataset(base, 3, "gkmeans", random_state=0)
+        for with_c, without in zip(groups, plain):
+            assert np.array_equal(with_c, without)
+        _, rr_centroids = partition_dataset(base, 3, "round_robin",
+                                            return_centroids=True)
+        assert rr_centroids is None
+
     def test_single_shard_is_identity(self, shard_setup):
         base, _ = shard_setup
         (group,) = partition_dataset(base, 1, "round_robin")
@@ -90,10 +105,26 @@ class TestPartitioners:
 class TestSpecSurface:
     def test_spec_shard_fields_roundtrip_json(self):
         spec = IndexSpec(backend="bruteforce", n_shards=4,
-                         partitioner="gkmeans")
+                         partitioner="gkmeans", shard_probe=2)
         restored = IndexSpec.from_json(spec.to_json())
         assert restored.n_shards == 4
         assert restored.partitioner == "gkmeans"
+        assert restored.shard_probe == 2
+
+    def test_spec_without_shard_probe_defaults_to_full_fanout(self):
+        payload = IndexSpec(backend="bruteforce", n_shards=2).to_dict()
+        del payload["shard_probe"]      # a pre-routing index file
+        assert IndexSpec.from_dict(payload).shard_probe is None
+
+    def test_spec_rejects_bad_shard_probe(self):
+        with pytest.raises(ValidationError, match="shard_probe"):
+            IndexSpec(backend="bruteforce", n_shards=4,
+                      partitioner="gkmeans", shard_probe=0)
+        with pytest.raises(ValidationError, match="shard_probe"):
+            IndexSpec(backend="bruteforce", n_shards=4,
+                      partitioner="gkmeans", shard_probe=5)
+        with pytest.raises(ValidationError, match="round_robin"):
+            IndexSpec(backend="bruteforce", n_shards=4, shard_probe=2)
 
     def test_spec_without_shard_keys_defaults_to_monolithic(self):
         payload = IndexSpec(backend="bruteforce").to_dict()
@@ -204,6 +235,163 @@ class TestBuildAndSearch:
                                      n_neighbors=16, n_shards=4)
         assert all(index.graph.n_neighbors == 5
                    for index in sharded.shards)  # 6-point shards -> kappa 5
+
+
+class TestRoutedSearch:
+    """``shard_probe`` routes queries to their nearest shards only."""
+
+    @pytest.fixture(scope="class")
+    def routed_index(self, shard_setup):
+        base, _ = shard_setup
+        spec = IndexSpec(backend="bruteforce", n_neighbors=8, n_shards=4,
+                         partitioner="gkmeans", random_state=5)
+        return ShardedIndex.build(base, spec)
+
+    def test_build_exposes_routing_centroids(self, routed_index):
+        assert routed_index.centroids is not None
+        assert routed_index.centroids.shape == (4, N_FEATURES)
+
+    def test_round_robin_build_has_no_centroids(self, sharded_index):
+        assert sharded_index.centroids is None
+
+    def test_routed_results_come_from_probed_shards_only(self, routed_index,
+                                                         shard_setup):
+        _, queries = shard_setup
+        routes = routed_index._route(queries, 1)[:, 0]
+        idx, dist = routed_index.search(queries, 5, shard_probe=1)
+        for row in range(queries.shape[0]):
+            shard_members = set(
+                map(int, routed_index.shard_ids[routes[row]]))
+            returned = {int(i) for i in idx[row] if i >= 0}
+            assert returned <= shard_members
+        assert np.all(np.diff(np.where(np.isfinite(dist), dist, np.inf),
+                              axis=1) >= 0)
+
+    def test_routed_stats_surface(self, routed_index, shard_setup):
+        _, queries = shard_setup
+        routed_index.search(queries, 6, shard_probe=2, shard_workers=2)
+        stats = routed_index.last_serving_stats
+        assert isinstance(stats, ShardedServingStats)
+        assert stats.shard_probe == 2
+        assert stats.routing_gemms == 1
+        assert stats.n_queries == N_QUERIES
+        assert sum(stats.queries_per_shard) == 2 * N_QUERIES
+        assert stats.probed_shards_per_query == 2.0
+        assert len(stats.queries_per_shard) == 4
+        assert stats.total_seconds > 0
+
+    def test_full_fanout_stats_report_no_routing(self, routed_index,
+                                                 shard_setup):
+        _, queries = shard_setup
+        routed_index.search(queries, 6)
+        stats = routed_index.last_serving_stats
+        assert stats.shard_probe == 4
+        assert stats.routing_gemms == 0
+        assert stats.queries_per_shard == (N_QUERIES,) * 4
+        assert stats.probed_shards_per_query == 4.0
+
+    def test_routing_gemm_charged_to_evaluations(self, routed_index,
+                                                 shard_setup):
+        _, queries = shard_setup
+        routed_index.search(queries, 6, shard_probe=1)
+        evals = routed_index.last_per_query_evaluations
+        # Every query pays the centroid gemm (one evaluation per shard)
+        # on top of its own walk.
+        assert np.all(evals > routed_index.n_shards)
+
+    def test_single_query_routed(self, routed_index, shard_setup):
+        _, queries = shard_setup
+        idx, dist = routed_index.search(queries[0], 5, shard_probe=1)
+        assert idx.shape == dist.shape == (5,)
+        assert routed_index.last_per_query_evaluations.shape == (1,)
+
+    def test_widening_probe_never_hurts_distances(self, routed_index,
+                                                  shard_setup):
+        """Each extra probed shard can only add closer candidates."""
+        _, queries = shard_setup
+        previous = None
+        for probe in (1, 2, 3, 4):
+            _, dist = routed_index.search(queries, 5, shard_probe=probe)
+            if previous is not None:
+                assert np.all(dist <= previous + 1e-12)
+            previous = dist
+
+    def test_evaluate_search_forwards_shard_probe(self, routed_index,
+                                                  shard_setup):
+        _, queries = shard_setup
+        routed = evaluate_search(routed_index, queries, n_results=5,
+                                 shard_probe=1)
+        full = evaluate_search(routed_index, queries, n_results=5)
+        assert routed.serving_stats.shard_probe == 1
+        assert full.serving_stats.shard_probe == 4
+        assert routed.recall_at_k <= full.recall_at_k + 1e-12
+        assert routed.mean_distance_evaluations < \
+            full.mean_distance_evaluations
+
+
+class TestManifestBackCompat:
+    """Version-1 (pre-routing) sharded directories still load and serve."""
+
+    @pytest.fixture()
+    def v1_directory(self, shard_setup, tmp_path):
+        base, _ = shard_setup
+        spec = IndexSpec(backend="bruteforce", n_neighbors=8, n_shards=3,
+                         partitioner="gkmeans", random_state=5)
+        sharded = ShardedIndex.build(base, spec)
+        path = tmp_path / "legacy.shards"
+        sharded.save(path)
+        # Rewrite the manifest exactly as PR 4 wrote it: format version 1,
+        # no centroids key, no shard_probe spec field.
+        manifest = dict(np.load(path / "manifest.npz",
+                                allow_pickle=False))
+        manifest.pop("centroids")
+        manifest["sharded_format_version"] = np.int64(1)
+        payload = json.loads(str(manifest["spec_json"]))
+        del payload["shard_probe"]
+        manifest["spec_json"] = np.asarray(
+            json.dumps(payload, sort_keys=True))
+        np.savez(path / "manifest.npz", **manifest)
+        return sharded, path
+
+    def test_v1_loads_and_serves_full_fanout(self, v1_directory,
+                                             shard_setup):
+        _, queries = shard_setup
+        original, path = v1_directory
+        restored = ShardedIndex.load(path)
+        assert restored.centroids is None
+        assert restored.spec.shard_probe is None
+        before = original.search(queries, 8)
+        after = restored.search(queries, 8)
+        assert before[0].tobytes() == after[0].tobytes()
+        assert before[1].tobytes() == after[1].tobytes()
+
+    def test_v1_rejects_shard_probe_with_clear_error(self, v1_directory,
+                                                     shard_setup):
+        _, queries = shard_setup
+        restored = ShardedIndex.load(v1_directory[1])
+        with pytest.raises(ValidationError,
+                           match="predates the routed format"):
+            restored.search(queries, 8, shard_probe=1)
+
+    def test_resave_upgrades_to_current_format(self, v1_directory,
+                                               tmp_path):
+        """A v1 directory round-trips into the current (v2) layout."""
+        restored = ShardedIndex.load(v1_directory[1])
+        upgraded_path = tmp_path / "upgraded.shards"
+        restored.save(upgraded_path)
+        with np.load(upgraded_path / "manifest.npz",
+                     allow_pickle=False) as archive:
+            assert int(archive["sharded_format_version"]) == 2
+            assert "centroids" not in archive.files
+
+    def test_unknown_future_version_rejected(self, v1_directory):
+        _, path = v1_directory
+        manifest = dict(np.load(path / "manifest.npz",
+                                allow_pickle=False))
+        manifest["sharded_format_version"] = np.int64(99)
+        np.savez(path / "manifest.npz", **manifest)
+        with pytest.raises(ValidationError, match="format version"):
+            ShardedIndex.load(path)
 
 
 class TestServingStatsAggregation:
