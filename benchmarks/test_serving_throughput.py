@@ -7,9 +7,21 @@ should show >1× scaling (the hard ≥1.2× guard lives in
 here the enforced contract is the one that must hold *everywhere*: every
 worker count returns bit-for-bit the single-worker answer, and threading is
 never catastrophically slower.
+
+Two further serving axes ride in the same trajectory:
+
+* ``executor`` ∈ {thread, process} — the sharded fan-out's executor seam.
+  The process rows measure the steady state of the persistent worker pool
+  (spawn + one-time shard loading happen in the warm-up round), and every
+  executor must return bit-for-bit the serial fan-out's answer.
+* request coalescing — the asyncio front end gathering concurrent
+  single-query requests into batch walks, measured end-to-end through
+  ``serve_concurrently`` (event loop + admission + slicing included).
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -17,7 +29,8 @@ import pytest
 from conftest import BENCH
 
 from repro.datasets import make_sift_like, train_query_split
-from repro.index import Index, IndexSpec
+from repro.index import Index, IndexSpec, build_index
+from repro.serving import serve_concurrently
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -59,7 +72,8 @@ def test_serving_throughput(benchmark, serving_setup, workers):
           f"({stats.n_groups} groups, {stats.n_rounds} rounds, "
           f"{stats.n_gemms} gemms)")
 
-    assert stats.workers == min(workers, stats.n_groups)
+    assert stats.workers == min(workers, os.cpu_count() or 1,
+                                stats.n_groups)
     # The determinism contract, measured on the real serving path.
     assert np.array_equal(indices, reference[0])
     assert np.array_equal(distances, reference[1])
@@ -67,3 +81,72 @@ def test_serving_throughput(benchmark, serving_setup, workers):
     _RECORDED[workers] = queries_per_second
     if WORKER_COUNTS[0] in _RECORDED:
         assert queries_per_second >= 0.5 * _RECORDED[WORKER_COUNTS[0]]
+
+
+EXECUTOR_KINDS = ("thread", "process")
+
+
+@pytest.fixture(scope="module")
+def executor_setup():
+    corpus = make_sift_like(BENCH.n_samples, BENCH.n_features,
+                            random_state=BENCH.random_state)
+    base, queries = train_query_split(corpus, 256,
+                                      random_state=BENCH.random_state)
+    spec = IndexSpec(backend="gkmeans", n_neighbors=BENCH.n_neighbors,
+                     pool_size=64, n_shards=2,
+                     random_state=BENCH.random_state,
+                     params={"tau": BENCH.graph_tau,
+                             "cluster_size": BENCH.cluster_size})
+    index = build_index(base, spec)
+    reference = index.search(queries, 10, shard_workers=1)
+    yield index, queries, reference
+    index.close()
+
+
+@pytest.mark.parametrize("executor", EXECUTOR_KINDS)
+def test_executor_throughput(benchmark, executor_setup, executor):
+    index, queries, reference = executor_setup
+    indices, distances = benchmark.pedantic(
+        lambda: index.search(queries, 10, shard_workers=2,
+                             executor=executor),
+        rounds=3, iterations=1, warmup_rounds=1)
+    stats = index.last_serving_stats
+
+    queries_per_second = queries.shape[0] / benchmark.stats.stats.min
+    benchmark.extra_info["executor"] = executor
+    benchmark.extra_info["n_shards"] = stats.n_shards
+    benchmark.extra_info["queries_per_second"] = round(queries_per_second, 1)
+    print(f"\nexecutor={executor}: {queries_per_second:,.0f} queries/s "
+          f"({stats.n_shards} shards)")
+
+    # The executor seam is a pure throughput knob: both kinds return
+    # bit-for-bit the serial fan-out's answer.
+    assert stats.executor == executor
+    assert np.array_equal(indices, reference[0])
+    assert np.array_equal(distances, reference[1])
+
+
+def test_coalescing_throughput(benchmark, serving_setup):
+    index, queries, reference = serving_setup
+    indices, distances, request_stats = benchmark.pedantic(
+        lambda: serve_concurrently(index, queries, n_results=10,
+                                   max_batch=32, max_delay_ms=5.0),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+    queries_per_second = queries.shape[0] / benchmark.stats.stats.min
+    batch_sizes = [record.batch_size for record in request_stats]
+    benchmark.extra_info["max_batch"] = 32
+    benchmark.extra_info["mean_batch_size"] = round(
+        float(np.mean(batch_sizes)), 1)
+    benchmark.extra_info["queries_per_second"] = round(queries_per_second, 1)
+    print(f"\ncoalescing: {queries_per_second:,.0f} queries/s "
+          f"(mean batch {np.mean(batch_sizes):.1f})")
+
+    # Coalescing may batch the requests differently than the reference's
+    # one full-batch call, which perturbs distances only in the last ulp
+    # (BLAS blocking); ids must agree except at bitwise-tied distances.
+    np.testing.assert_allclose(distances, reference[1], rtol=1e-9,
+                               atol=1e-12)
+    differs = indices != reference[0]
+    assert np.all(np.isclose(distances[differs], reference[1][differs],
+                             rtol=1e-9, atol=1e-12))

@@ -47,9 +47,19 @@ def load_trajectory(path: str) -> dict:
 
 
 def index_by_name(document: dict) -> dict:
-    """``{case name: result}`` for every result with a usable timing."""
+    """``{case name: result}`` for every result with a usable timing.
+
+    Tolerates a missing/null/short-handed ``results`` payload — a
+    truncated or hand-edited trajectory degrades to "no usable cases"
+    instead of crashing the gate.
+    """
     cases = {}
-    for result in document.get("results", []):
+    results = document.get("results")
+    if not isinstance(results, list):
+        return cases
+    for result in results:
+        if not isinstance(result, dict):
+            continue
         name = result.get("name")
         if name and isinstance(result.get("min_seconds"), (int, float)):
             cases[name] = result
@@ -163,6 +173,35 @@ def main(argv=None) -> int:
 
     baseline = load_trajectory(args.baseline)
     fresh = load_trajectory(args.fresh)
+
+    # Graceful degradation: an empty baseline or a disjoint case set means
+    # there is nothing to measure a regression against.  That is a note,
+    # not a failure — failing here would gate unrelated changes on bench
+    # bookkeeping, and crashing would hide the actual state.
+    base_cases = index_by_name(baseline)
+    fresh_cases = index_by_name(fresh)
+    if not base_cases:
+        emit([
+            "## Serving bench regression gate",
+            "",
+            f"**Nothing to gate.** The committed baseline "
+            f"`{args.baseline}` carries no usable timed cases; record one "
+            "with `scripts/record_bench.py --check`.  An absent baseline "
+            "is not a regression — exiting 0.",
+        ])
+        return 0
+    if not set(base_cases) & set(fresh_cases):
+        emit([
+            "## Serving bench regression gate",
+            "",
+            f"**Nothing to gate.** None of the fresh run's "
+            f"{len(fresh_cases)} case(s) match the baseline's "
+            f"{len(base_cases)} case(s) by name (benchmarks renamed or "
+            "the suites diverged).  Refresh the committed baseline; "
+            "no comparable timing exists — exiting 0.",
+        ])
+        return 0
+
     gated = args.gate_cross_machine or \
         machine_fingerprint(baseline) == machine_fingerprint(fresh)
     lines, regressed = compare(baseline, fresh, args.max_slowdown, gated)

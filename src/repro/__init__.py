@@ -29,7 +29,8 @@ ANN serving through the index facade (build -> search -> save -> load):
 """
 
 from ._version import __version__
-from . import datasets, distance, graph, cluster, metrics, search, index
+from . import datasets, distance, graph, cluster, metrics, search, index, \
+    serving
 from .distance import DistanceEngine
 from .cluster import (
     BoostKMeans,
@@ -50,11 +51,15 @@ from .graph import (
 )
 from .search import GraphSearcher
 from .index import Index, IndexSpec, ShardedIndex, build_index, load_index
+from .serving import CoalescingServer, serve_concurrently
 from .exceptions import (
     DatasetError,
     GraphError,
     NotFittedError,
     ReproError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
     ValidationError,
 )
 
@@ -67,6 +72,7 @@ __all__ = [
     "metrics",
     "search",
     "index",
+    "serving",
     "DistanceEngine",
     "GKMeans",
     "KMeans",
@@ -87,9 +93,14 @@ __all__ = [
     "ShardedIndex",
     "build_index",
     "load_index",
+    "CoalescingServer",
+    "serve_concurrently",
     "ReproError",
     "ValidationError",
     "NotFittedError",
     "DatasetError",
     "GraphError",
+    "ServingError",
+    "ServerClosedError",
+    "ServerOverloadedError",
 ]

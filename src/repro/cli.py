@@ -31,6 +31,7 @@ from .experiments.config import DEFAULT, LARGE, SMALL, ExperimentScale
 from .experiments.runner import available_methods, run_method
 from .exceptions import ValidationError
 from .index import (
+    EXECUTORS,
     PARTITIONERS,
     IndexSpec,
     ShardedIndex,
@@ -129,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how rows are dealt to shards: round_robin "
                             "(balanced) or gkmeans (nearest of S coarse "
                             "centroids)")
+    build.add_argument("--executor", choices=sorted(EXECUTORS),
+                       default="thread",
+                       help="default shard fan-out executor persisted in "
+                            "the spec: thread (in-process pool) or process "
+                            "(persistent worker processes, one shard NPZ "
+                            "loaded per worker); results are identical "
+                            "either way")
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--tau", type=int, default=None,
                        help="gkmeans backend: construction rounds")
@@ -161,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "sharded indexes only; P = shard count is "
                              "exactly the full fan-out, smaller P trades "
                              "recall for throughput)")
+    search.add_argument("--executor", choices=sorted(EXECUTORS),
+                        default=None,
+                        help="shard fan-out executor override for a "
+                             "sharded index (default: the index spec's "
+                             "setting; results are identical either way)")
     search.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list", help="list datasets, methods and experiments")
@@ -189,7 +202,8 @@ def _run_build(args) -> int:
                      metric=args.metric, dtype=args.dtype,
                      pool_size=args.pool_size, workers=args.workers,
                      n_shards=args.shards, partitioner=args.partitioner,
-                     random_state=args.seed, params=_build_params(args))
+                     executor=args.executor, random_state=args.seed,
+                     params=_build_params(args))
     index = build_index(data, spec)
     index.save(args.out)
     row = {
@@ -226,14 +240,16 @@ def _run_search(args) -> int:
         rows = rng.choice(index.n_points, size=n_queries, replace=False)
         queries = index.data[rows]
         source = f"{n_queries} indexed rows (self-queries)"
-    shard_workers = (args.shard_workers
-                     if isinstance(index, ShardedIndex) else None)
+    sharded = isinstance(index, ShardedIndex)
+    shard_workers = args.shard_workers if sharded else None
+    executor = args.executor if sharded else None
     try:
         evaluation = evaluate_search(index, queries, n_results=args.k,
                                      pool_size=args.pool_size,
                                      workers=args.workers,
                                      shard_workers=shard_workers,
-                                     shard_probe=args.shard_probe)
+                                     shard_probe=args.shard_probe,
+                                     executor=executor)
     except ValidationError as exc:
         print(f"error: cannot search index {args.index!r}: {exc}",
               file=sys.stderr)
@@ -255,8 +271,10 @@ def _run_search(args) -> int:
         if getattr(stats, "n_shards", 1) > 1:
             row.update(shards=stats.n_shards,
                        shard_workers=stats.shard_workers,
-                       shard_probe=stats.shard_probe)
+                       shard_probe=stats.shard_probe,
+                       executor=stats.executor)
     print(render_table([row]))
+    index.close()
     return 0
 
 

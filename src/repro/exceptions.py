@@ -29,3 +29,17 @@ class DatasetError(ReproError):
 
 class GraphError(ReproError):
     """A k-NN graph is malformed or inconsistent with the data it indexes."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """A serving-side failure: a shard worker pool died or a request could
+    not be served for an operational (not validation) reason."""
+
+
+class ServerClosedError(ServingError):
+    """A request reached a coalescing server that has been closed."""
+
+
+class ServerOverloadedError(ServingError):
+    """Admission control rejected a request: the server's bounded request
+    queue was full.  Back off and retry — the request was never enqueued."""

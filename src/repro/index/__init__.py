@@ -24,6 +24,7 @@ surface (:func:`~repro.index.sharded.build_index` and
 
 from .spec import (
     BUILDERS,
+    EXECUTORS,
     PARTITIONERS,
     BuilderEntry,
     IndexSpec,
@@ -31,6 +32,11 @@ from .spec import (
     register_builder,
 )
 from . import backends as _backends  # noqa: F401  (populates BUILDERS)
+from .executors import (
+    ProcessShardExecutor,
+    ShardSearchTask,
+    ThreadShardExecutor,
+)
 from .facade import FORMAT_VERSION, Index
 from .sharded import (
     MANIFEST_NAME,
@@ -49,7 +55,11 @@ __all__ = [
     "IndexSpec",
     "BUILDERS",
     "PARTITIONERS",
+    "EXECUTORS",
     "BuilderEntry",
+    "ShardSearchTask",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
     "available_backends",
     "register_builder",
     "build_index",

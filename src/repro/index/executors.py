@@ -1,0 +1,222 @@
+"""Pluggable shard-fan-out executors for :class:`~repro.index.sharded.ShardedIndex`.
+
+A sharded search is S independent sub-searches plus a deterministic merge.
+*Where* those sub-searches run is a serving decision, not a correctness one,
+so this module extracts the fan-out behind a small executor interface:
+
+* :class:`ThreadShardExecutor` — today's behaviour: the per-shard walks run
+  on an in-process :class:`~concurrent.futures.ThreadPoolExecutor`.  The
+  frontier gemms release the GIL inside BLAS, nothing is pickled, and the
+  pool is persistent (created lazily, reused across calls) instead of being
+  rebuilt per search.
+* :class:`ProcessShardExecutor` — a persistent
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose workers each load
+  their shard's saved NPZ **once** and then serve query groups by
+  shared-nothing message passing.  This escapes the interpreter lock
+  entirely — the Python-side walk bookkeeping of different shards runs on
+  different cores — at the cost of pickling the queries out and the top-k
+  back.
+
+Both executors run the *same* per-task search function
+(:func:`search_shard_index`), collect results in task order, and surface a
+failing task's original exception, so the executor choice is a pure
+throughput knob: results are bit-for-bit identical between ``thread``,
+``process`` and the serial inline path — a contract enforced by the
+determinism suite, not left to hope.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import get_context
+
+import numpy as np
+
+from ..exceptions import ServingError
+from .facade import Index
+
+__all__ = ["ShardSearchTask", "ShardSearchResult", "search_shard_index",
+           "ThreadShardExecutor", "ProcessShardExecutor"]
+
+
+@dataclass(frozen=True)
+class ShardSearchTask:
+    """One shard's share of a sharded search, as a picklable message.
+
+    ``queries`` is the 1-D vector (``single=True``) or the 2-D batch the
+    shard must serve; ``single`` replays the facade's sequential
+    single-query path so the executor seam cannot change which walk runs.
+    The remaining fields are the per-call search knobs, with ``seed``
+    already resolved (never ``None``) so a worker process reproduces the
+    parent's entry-point sample exactly.
+    """
+
+    shard: int
+    queries: np.ndarray
+    shard_k: int
+    single: bool = False
+    pool_size: int | None = None
+    strategy: str | None = None
+    workers: int | None = None
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ShardSearchResult:
+    """One shard's search output, in *local* row ids.
+
+    ``indices``/``distances`` always carry the 2-D batch shape (single
+    queries come back as one row); unreached entries are ``(-1, inf)``
+    pairs so the parent-side merge can treat every shard uniformly.
+    ``evaluations`` is the per-query distance-evaluation count and
+    ``stats`` the shard's :class:`~repro.search.frontier.ServingStats`
+    (``None`` for single-query and per-query-strategy searches).
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    evaluations: np.ndarray
+    stats: object | None
+
+
+def search_shard_index(index: Index, task: ShardSearchTask
+                       ) -> ShardSearchResult:
+    """Serve ``task`` on ``index`` — the single search path of every executor.
+
+    Thread and process executors (and the serial inline fallback) all call
+    exactly this function, so a shard's walk is byte-identical no matter
+    where it ran.
+    """
+    if task.single:
+        idx, dist = index.search(task.queries, task.shard_k,
+                                 pool_size=task.pool_size,
+                                 random_state=task.seed)
+        idx, dist = idx[None, :], dist[None, :]
+    else:
+        idx, dist = index.search(task.queries, task.shard_k,
+                                 pool_size=task.pool_size,
+                                 strategy=task.strategy,
+                                 workers=task.workers,
+                                 random_state=task.seed)
+    return ShardSearchResult(
+        indices=idx, distances=dist,
+        evaluations=index.last_per_query_evaluations.copy(),
+        stats=index.last_serving_stats)
+
+
+class ThreadShardExecutor:
+    """In-process shard fan-out on a persistent thread pool.
+
+    The pool is created lazily on the first multi-task ``run`` and reused
+    until :meth:`close` — serving traffic must not pay thread start-up per
+    search call.  Single-task (or ``max_workers=1``) runs execute inline.
+    """
+
+    name = "thread"
+
+    def __init__(self, shards: list, max_workers: int) -> None:
+        self._shards = shards
+        self._max_workers = max(1, int(max_workers))
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _search(self, task: ShardSearchTask) -> ShardSearchResult:
+        return search_shard_index(self._shards[task.shard], task)
+
+    def run(self, tasks: list) -> list:
+        """Serve every task; results come back in task order."""
+        if self._max_workers == 1 or len(tasks) <= 1:
+            return [self._search(task) for task in tasks]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+        # map() yields in submission order and re-raises a failing task's
+        # original exception on iteration.
+        return list(self._pool.map(self._search, tasks))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); ``run`` recreates it if needed."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: Per-worker-process shard cache: saved-NPZ path -> loaded Index.  Each
+#: worker loads a shard at most once and serves every later task against
+#: the cached object — the whole point of the persistent process pool.
+_WORKER_SHARDS: dict[str, Index] = {}
+
+
+def _process_search(path: str, task: ShardSearchTask) -> ShardSearchResult:
+    """Worker-side task entry point: load-once, then search the cache."""
+    index = _WORKER_SHARDS.get(path)
+    if index is None:
+        index = _WORKER_SHARDS[path] = Index.load(path)
+    return search_shard_index(index, task)
+
+
+class ProcessShardExecutor:
+    """Out-of-process shard fan-out on a persistent process pool.
+
+    Workers are spawned (not forked — forking a process with live BLAS
+    threads is undefined behaviour) once and reused across search calls;
+    each loads the shard NPZs it is handed lazily and keeps them cached.
+    Tasks and results cross the process boundary by pickling, which is
+    exactly the per-call query/top-k traffic — the shard data itself never
+    moves after the initial load.
+
+    A task that raises in a worker surfaces its original (pickled)
+    exception here; a worker that dies hard (segfault, OOM-kill) breaks
+    the pool, which is reported as a :class:`~repro.exceptions.ServingError`
+    and the pool is closed so the next ``run`` cannot hit dead workers.
+    """
+
+    name = "process"
+
+    def __init__(self, shard_paths: list, max_workers: int) -> None:
+        for path in shard_paths:
+            if not os.path.exists(path):
+                raise ServingError(
+                    f"process executor needs every shard on disk, but "
+                    f"{path!r} does not exist")
+        self._shard_paths = [os.fspath(path) for path in shard_paths]
+        self._max_workers = max(1, int(max_workers))
+        self._pool: ProcessPoolExecutor | None = None
+
+    def run(self, tasks: list) -> list:
+        """Serve every task; results come back in task order."""
+        if not tasks:
+            return []
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                mp_context=get_context("spawn"))
+        futures = [self._pool.submit(_process_search,
+                                     self._shard_paths[task.shard], task)
+                   for task in tasks]
+        try:
+            return [future.result() for future in futures]
+        except BrokenProcessPool as exc:
+            self.close()
+            raise ServingError(
+                "a shard worker process died; the process pool was shut "
+                "down (the next search starts a fresh pool)") from exc
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); ``run`` recreates it if needed."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -142,6 +142,15 @@ class Index:
     def __len__(self) -> int:
         return self.n_points
 
+    def close(self) -> None:
+        """Release the searcher's persistent walk pool (idempotent).
+
+        The index stays usable — the next threaded batch search recreates
+        the pool.  Mirrors :meth:`ShardedIndex.close
+        <repro.index.sharded.ShardedIndex.close>`.
+        """
+        self._searcher.close()
+
     def __repr__(self) -> str:
         return (f"Index(backend={self.spec.backend!r}, n={self.n_points}, "
                 f"d={self.n_features}, kappa={self.graph.n_neighbors}, "
@@ -187,6 +196,7 @@ class Index:
     def search(self, queries: np.ndarray, n_results: int = 10, *,
                pool_size: int | None = None, strategy: str | None = None,
                workers: int | None = None, shard_probe: int | None = None,
+               executor: str | None = None,
                random_state=None) -> tuple[np.ndarray, np.ndarray]:
         """Serve one query or a batch of queries.
 
@@ -214,6 +224,12 @@ class Index:
             :meth:`ShardedIndex.search
             <repro.index.sharded.ShardedIndex.search>`: a monolithic index
             is its own single shard, so only ``None`` or ``1`` are valid.
+        executor:
+            Signature parity with the sharded index's fan-out executor
+            selection: a monolithic index has no shard fan-out to place
+            out-of-process, so only ``None`` or ``"thread"`` (the
+            in-process walk) are valid — ``"process"`` is rejected with a
+            pointer at the sharded layer.
         random_state:
             Entry-point seed override; defaults to ``spec.random_state``, so
             repeated calls are deterministic.
@@ -225,6 +241,11 @@ class Index:
         """
         if shard_probe is not None:
             check_positive_int(shard_probe, name="shard_probe", maximum=1)
+        if executor is not None and executor != "thread":
+            raise ValidationError(
+                f"executor={executor!r}: a monolithic Index serves "
+                "in-process only; out-of-process serving is the sharded "
+                "layer's fan-out knob (build with n_shards > 1)")
         rng = check_random_state(self.spec.random_state
                                  if random_state is None else random_state)
         if np.asarray(queries).ndim == 1:

@@ -67,9 +67,15 @@ from ..validation import (
     check_data_matrix,
     check_positive_int,
     check_random_state,
+    clamp_workers,
+)
+from .executors import (
+    ProcessShardExecutor,
+    ShardSearchTask,
+    ThreadShardExecutor,
 )
 from .facade import Index
-from .spec import IndexSpec, PARTITIONERS
+from .spec import EXECUTORS, IndexSpec, PARTITIONERS
 
 __all__ = ["ShardedIndex", "ShardedServingStats", "SHARDED_FORMAT_VERSION",
            "MANIFEST_NAME", "partition_dataset", "build_index", "load_index"]
@@ -176,8 +182,13 @@ class ShardedServingStats:
     n_shards:
         Number of shards of the index.
     shard_workers:
-        Threads the shard fan-out ran on (clamped to the shard count).
-        Purely a throughput knob — results are identical at every level.
+        Workers the shard fan-out ran on (clamped to the shard count and
+        the CPU count).  Purely a throughput knob — results are identical
+        at every level.
+    executor:
+        Executor the fan-out ran on (see
+        :data:`~repro.index.spec.EXECUTORS`): ``"thread"`` or
+        ``"process"``.  Also purely a throughput knob.
     n_queries:
         Number of queries served.
     shard_probe:
@@ -202,6 +213,7 @@ class ShardedServingStats:
     shard_workers: int
     n_queries: int
     shard_probe: int = 0
+    executor: str = "thread"
     routing_gemms: int = 0
     queries_per_shard: tuple = ()
     shard_stats: tuple = ()
@@ -318,6 +330,14 @@ class ShardedIndex:
         self.last_per_query_evaluations: np.ndarray | None = None
         self.last_n_evaluations = 0
         self.last_serving_stats: ShardedServingStats | None = None
+        # Serving state: one persistent fan-out executor per executor kind
+        # (recreated when the requested worker count changes), the directory
+        # the index was loaded from / saved to (process workers load shard
+        # NPZs from it), and the spill directory holding shard NPZs written
+        # on demand for a never-saved in-memory index.
+        self._executors: dict = {}
+        self._source_dir: str | None = None
+        self._spill_dir: str | None = None
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -373,6 +393,73 @@ class ShardedIndex:
                 f"d={self.n_features}, "
                 f"partitioner={self.spec.partitioner!r}, "
                 f"metric={self.metric!r}, dtype={self.spec.dtype!r})")
+
+    # ------------------------------------------------------------------ #
+    # Serving resources
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release serving resources: fan-out pools and the spill directory.
+
+        Idempotent, and the index stays usable — the next search simply
+        recreates what it needs.  Call this (or rely on ``__del__``) after
+        serving with ``executor="process"`` to reap the worker processes.
+        """
+        executors, self._executors = self._executors, {}
+        for _, executor in executors.values():
+            executor.close()
+        spill, self._spill_dir = self._spill_dir, None
+        if spill is not None:
+            shutil.rmtree(spill, ignore_errors=True)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _shard_paths(self) -> list:
+        """Per-shard NPZ paths the process executor's workers load from.
+
+        A loaded/saved index points its workers at its own directory; an
+        in-memory index spills each shard to a temp directory once (removed
+        again in :meth:`close`).  Either way the files are ``save``
+        round-trips, so a worker's shard serves bit-for-bit like the
+        parent's — the persistence determinism suite guards exactly that.
+        """
+        if self._source_dir is not None:
+            paths = [os.path.join(self._source_dir, _shard_name(shard))
+                     for shard in range(self.n_shards)]
+            if all(os.path.exists(path) for path in paths):
+                return paths
+        if self._spill_dir is None:
+            spill = tempfile.mkdtemp(prefix="repro-shard-spill-")
+            for shard, index in enumerate(self.shards):
+                index.save(os.path.join(spill, _shard_name(shard)))
+            self._spill_dir = spill
+        return [os.path.join(self._spill_dir, _shard_name(shard))
+                for shard in range(self.n_shards)]
+
+    def _get_executor(self, name: str, shard_workers: int):
+        """Persistent fan-out executor for ``name``, sized ``shard_workers``.
+
+        One executor per kind is kept alive across search calls (the whole
+        point — no per-call pool construction); a call with a different
+        worker count closes and replaces it, so the common stable-count
+        serving loop always hits the cache.
+        """
+        cached = self._executors.get(name)
+        if cached is not None:
+            count, executor = cached
+            if count == shard_workers:
+                return executor
+            executor.close()
+        if name == "thread":
+            executor = ThreadShardExecutor(self.shards, shard_workers)
+        else:
+            executor = ProcessShardExecutor(self._shard_paths(),
+                                            shard_workers)
+        self._executors[name] = (shard_workers, executor)
+        return executor
 
     # ------------------------------------------------------------------ #
     # Build
@@ -433,7 +520,7 @@ class ShardedIndex:
     def search(self, queries: np.ndarray, n_results: int = 10, *,
                pool_size: int | None = None, strategy: str | None = None,
                workers: int | None = None, shard_workers: int | None = None,
-               shard_probe: int | None = None,
+               shard_probe: int | None = None, executor: str | None = None,
                random_state=None) -> tuple[np.ndarray, np.ndarray]:
         """Serve one query or a batch, fanning out to all or routed shards.
 
@@ -441,11 +528,18 @@ class ShardedIndex:
         searches the full batch (its own rows only), then the per-shard
         top-k are merged by true distance into the global top-k.
         Parameters match :meth:`Index.search <repro.index.facade.Index.search>`
-        plus ``shard_workers`` — the threads the shard fan-out runs on
-        (default 1, clamped to the shard count) — and ``shard_probe``.
-        Both ``workers`` (inside each shard) and ``shard_workers`` (across
-        shards) are pure throughput knobs: results are bit-for-bit identical
-        at every level.
+        plus ``shard_workers`` — the workers the shard fan-out runs on
+        (default 1, clamped to the shard count and the CPU count) — plus
+        ``shard_probe`` and ``executor``.  ``workers`` (inside each shard),
+        ``shard_workers`` (across shards) and ``executor`` are pure
+        throughput knobs: results are bit-for-bit identical at every level.
+
+        ``executor`` selects where the per-shard walks run (see
+        :data:`~repro.index.spec.EXECUTORS`): ``"thread"`` fans out on a
+        persistent in-process thread pool, ``"process"`` on a persistent
+        process pool whose workers each load their shard NPZ once and serve
+        query groups by shared-nothing message passing.  Defaults to
+        ``spec.executor``.  Pools live until :meth:`close`.
 
         ``shard_probe=P`` routes each query to its ``P`` nearest shards
         (one gemm of the batch against the persisted coarse centroids) and
@@ -464,7 +558,13 @@ class ShardedIndex:
                                        maximum=self.n_points)
         shard_workers = 1 if shard_workers is None else check_positive_int(
             shard_workers, name="shard_workers")
-        shard_workers = min(shard_workers, self.n_shards)
+        shard_workers = clamp_workers(min(shard_workers, self.n_shards),
+                                      name="shard_workers")
+        executor = self.spec.executor if executor is None else executor
+        if executor not in EXECUTORS:
+            raise ValidationError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{list(EXECUTORS)}")
         probe = self.spec.shard_probe if shard_probe is None else shard_probe
         probe = self.n_shards if probe is None else check_positive_int(
             probe, name="shard_probe", maximum=self.n_shards)
@@ -486,26 +586,23 @@ class ShardedIndex:
             return self._routed_search(
                 queries, n_results, single=single, probe=probe,
                 pool_size=pool_size, strategy=strategy, workers=workers,
-                shard_workers=shard_workers, seed=seed, started=started)
+                shard_workers=shard_workers, executor=executor, seed=seed,
+                started=started)
 
-        def search_shard(shard: int) -> tuple:
-            shard_k = min(n_results, self.shards[shard].n_points)
-            return self._search_one_shard(
-                shard, queries, shard_k, single=single,
-                pool_size=pool_size, strategy=strategy, workers=workers,
-                seed=seed)
+        # Shards share no state and each task is internally deterministic,
+        # so neither the fan-out order nor the executor kind can influence
+        # the merged output — results come back in task (= shard) order.
+        tasks = [ShardSearchTask(
+            shard=shard, queries=queries,
+            shard_k=min(n_results, self.shards[shard].n_points),
+            single=single, pool_size=pool_size, strategy=strategy,
+            workers=workers, seed=seed) for shard in range(self.n_shards)]
+        parts = self._get_executor(executor, shard_workers).run(tasks)
 
-        # Shards share no state and each is internally deterministic, so the
-        # fan-out order cannot influence the merged output.
-        if shard_workers == 1:
-            parts = [search_shard(shard) for shard in range(self.n_shards)]
-        else:
-            with ThreadPoolExecutor(max_workers=shard_workers) as executor:
-                parts = list(executor.map(search_shard,
-                                          range(self.n_shards)))
-
-        all_ids = np.concatenate([part[0] for part in parts], axis=1)
-        all_dist = np.concatenate([part[1] for part in parts], axis=1)
+        all_ids = np.concatenate(
+            [self._lift(task.shard, part.indices)
+             for task, part in zip(tasks, parts)], axis=1)
+        all_dist = np.concatenate([part.distances for part in parts], axis=1)
         m = all_ids.shape[0]
         # Stable sort on distance: ties keep shard-then-rank order, so the
         # merge is deterministic and independent of shard_workers.  Unreached
@@ -515,49 +612,34 @@ class ShardedIndex:
         out_idx = np.take_along_axis(all_ids, order, axis=1)
         out_dist = np.take_along_axis(all_dist, order, axis=1)
 
-        evaluations = np.sum([part[2] for part in parts], axis=0,
+        evaluations = np.sum([part.evaluations for part in parts], axis=0,
                              dtype=np.int64)
         self.last_per_query_evaluations = evaluations
         self.last_n_evaluations = int(evaluations.sum())
-        shard_stats = tuple(part[3] for part in parts)
+        shard_stats = tuple(part.stats for part in parts)
         if single or any(stats is None for stats in shard_stats):
             self.last_serving_stats = None
         else:
             self.last_serving_stats = ShardedServingStats(
                 n_shards=self.n_shards, shard_workers=shard_workers,
-                n_queries=m, shard_probe=self.n_shards, routing_gemms=0,
-                queries_per_shard=(m,) * self.n_shards,
+                n_queries=m, shard_probe=self.n_shards, executor=executor,
+                routing_gemms=0, queries_per_shard=(m,) * self.n_shards,
                 shard_stats=shard_stats,
                 total_seconds=time.perf_counter() - started)
         if single:
             return out_idx[0], out_dist[0]
         return out_idx, out_dist
 
-    def _search_one_shard(self, shard: int, queries: np.ndarray,
-                          shard_k: int, *, single: bool, pool_size,
-                          strategy, workers, seed) -> tuple:
-        """Walk one shard and lift its results to global row ids.
+    def _lift(self, shard: int, idx: np.ndarray) -> np.ndarray:
+        """Lift one shard's local result ids to global row ids.
 
-        Returns ``(global ids, distances, per-query evaluation counts,
-        serving stats)`` with the 2-D batch shape even for ``single``
-        queries; unreached entries stay ``(-1, inf)`` pairs for the merge.
-        Shared by the full fan-out and the routed path so the remapping
-        stays byte-identical between them.
+        Unreached ``-1`` entries stay ``-1`` so they keep sorting last in
+        the merge.  Shared by the full fan-out and the routed path so the
+        remapping stays byte-identical between them.
         """
-        index = self.shards[shard]
-        if single:
-            idx, dist = index.search(queries, shard_k, pool_size=pool_size,
-                                     random_state=seed)
-            idx, dist = idx[None, :], dist[None, :]
-        else:
-            idx, dist = index.search(queries, shard_k, pool_size=pool_size,
-                                     strategy=strategy, workers=workers,
-                                     random_state=seed)
         reached = idx >= 0
-        ids = np.where(reached, self.shard_ids[shard][np.where(
+        return np.where(reached, self.shard_ids[shard][np.where(
             reached, idx, 0)], -1)
-        return (ids, dist, index.last_per_query_evaluations.copy(),
-                index.last_serving_stats)
 
     def _route(self, queries: np.ndarray, probe: int) -> np.ndarray:
         """``(m, probe)`` nearest-shard ids per query, nearest first.
@@ -575,7 +657,7 @@ class ShardedIndex:
 
     def _routed_search(self, queries: np.ndarray, n_results: int, *,
                        single: bool, probe: int, pool_size, strategy,
-                       workers, shard_workers: int, seed,
+                       workers, shard_workers: int, executor: str, seed,
                        started: float) -> tuple[np.ndarray, np.ndarray]:
         """Serve a batch on each query's ``probe`` nearest shards only.
 
@@ -606,34 +688,30 @@ class ShardedIndex:
         starts_at = ends - contrib
         buffer_width = max(int(ends[:, -1].max()), n_results)
 
-        def search_shard(shard: int) -> tuple:
-            return self._search_one_shard(
-                shard, queries[shard_rows[shard]], int(widths[shard]),
-                single=False, pool_size=pool_size, strategy=strategy,
-                workers=workers, seed=seed)
-
-        # Shards share no state and each is internally deterministic, so
-        # the fan-out order cannot influence the scatter-merge below.
-        if min(shard_workers, len(probed)) == 1:
-            parts = [search_shard(shard) for shard in probed]
-        else:
-            with ThreadPoolExecutor(
-                    max_workers=min(shard_workers, len(probed))) as executor:
-                parts = list(executor.map(search_shard, probed))
+        # Shards share no state and each task is internally deterministic,
+        # so neither the fan-out order nor the executor kind can influence
+        # the scatter-merge below.
+        tasks = [ShardSearchTask(
+            shard=shard, queries=queries[shard_rows[shard]],
+            shard_k=int(widths[shard]), single=False, pool_size=pool_size,
+            strategy=strategy, workers=workers, seed=seed)
+            for shard in probed]
+        parts = self._get_executor(
+            executor, min(shard_workers, len(probed))).run(tasks)
 
         all_ids = np.full((m, buffer_width), -1, dtype=np.int64)
         all_dist = np.full((m, buffer_width), np.inf,
-                           dtype=parts[0][1].dtype)
+                           dtype=parts[0].distances.dtype)
         # Routing scored every query against all centroids: one gemm,
         # n_shards evaluations per query, charged before the walks.
         evaluations = np.full(m, self.n_shards, dtype=np.int64)
-        for shard, (ids, dist, evals, _) in zip(probed, parts):
+        for shard, part in zip(probed, parts):
             rows = shard_rows[shard]
             cols = starts_at[rows, shard][:, None] + \
                 np.arange(widths[shard])[None, :]
-            all_ids[rows[:, None], cols] = ids
-            all_dist[rows[:, None], cols] = dist
-            evaluations[rows] += evals
+            all_ids[rows[:, None], cols] = self._lift(shard, part.indices)
+            all_dist[rows[:, None], cols] = part.distances
+            evaluations[rows] += part.evaluations
 
         # Same merge as the full fan-out: a stable sort keeps
         # shard-then-rank order on ties, unreached (-1, inf) pairs sort
@@ -644,13 +722,14 @@ class ShardedIndex:
 
         self.last_per_query_evaluations = evaluations
         self.last_n_evaluations = int(evaluations.sum())
-        shard_stats = tuple(part[3] for part in parts)
+        shard_stats = tuple(part.stats for part in parts)
         if single or any(stats is None for stats in shard_stats):
             self.last_serving_stats = None
         else:
             self.last_serving_stats = ShardedServingStats(
                 n_shards=self.n_shards, shard_workers=shard_workers,
-                n_queries=m, shard_probe=probe, routing_gemms=1,
+                n_queries=m, shard_probe=probe, executor=executor,
+                routing_gemms=1,
                 queries_per_shard=tuple(
                     int(rows.size) for rows in shard_rows),
                 shard_stats=shard_stats,
@@ -709,6 +788,9 @@ class ShardedIndex:
             if os.path.isdir(tmp_dir):
                 shutil.rmtree(tmp_dir, ignore_errors=True)
             raise
+        # The saved directory is now the canonical on-disk copy: point the
+        # process executor's workers at it instead of spilling temp NPZs.
+        self._source_dir = path
 
     @classmethod
     def load(cls, path) -> "ShardedIndex":
@@ -773,10 +855,12 @@ class ShardedIndex:
                     f"sharded index {path!r}: shard {shard} is missing or "
                     f"corrupt: {exc}") from exc
         try:
-            return cls(shards, shard_ids, spec, centroids=centroids)
+            index = cls(shards, shard_ids, spec, centroids=centroids)
         except ValidationError as exc:
             raise ValidationError(
                 f"sharded index {path!r} is inconsistent: {exc}") from exc
+        index._source_dir = path
+        return index
 
 
 def build_index(data: np.ndarray, spec: IndexSpec | None = None,

@@ -27,7 +27,7 @@ from ..exceptions import ValidationError
 from ..validation import check_positive_int
 
 __all__ = ["IndexSpec", "BuilderEntry", "BUILDERS", "PARTITIONERS",
-           "register_builder", "available_backends"]
+           "EXECUTORS", "register_builder", "available_backends"]
 
 #: Dataset partitioners understood by the sharded index layer:
 #: ``"round_robin"`` deals row ``i`` to shard ``i % n_shards`` (balanced,
@@ -35,6 +35,16 @@ __all__ = ["IndexSpec", "BuilderEntry", "BUILDERS", "PARTITIONERS",
 #: ``n_shards`` coarse k-means centroids (locality-preserving, so each
 #: query's true neighbours concentrate in few shards).
 PARTITIONERS = ("round_robin", "gkmeans")
+
+#: Shard-fan-out executors understood by the sharded index layer:
+#: ``"thread"`` serves the per-shard walks on an in-process thread pool
+#: (the gemms release the GIL, nothing is copied), ``"process"`` on a
+#: persistent process pool whose workers each load their shard once and
+#: serve query groups by shared-nothing message passing (escapes the
+#: interpreter lock entirely, at the cost of pickling queries/results).
+#: Like ``workers``, the executor is a pure throughput knob — results are
+#: bit-for-bit identical.
+EXECUTORS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -124,6 +134,12 @@ class IndexSpec:
         for throughput, and requires the geometric ``gkmeans`` partitioner —
         ``round_robin`` shards carry no geometry to route against, so the
         combination is rejected.
+    executor:
+        Default shard-fan-out executor of sharded searches (see
+        :data:`EXECUTORS`): ``"thread"`` runs the per-shard walks on an
+        in-process thread pool, ``"process"`` on a persistent process pool
+        of shard workers.  A pure throughput knob — results are bit-for-bit
+        identical — overridable per search call.
     symmetrize:
         Whether search adds reverse edges to the adjacency (recommended).
     random_state:
@@ -146,6 +162,7 @@ class IndexSpec:
     n_shards: int = 1
     partitioner: str = "round_robin"
     shard_probe: int | None = None
+    executor: str = "thread"
     symmetrize: bool = True
     random_state: int = 0
     params: Mapping = field(default_factory=dict)
@@ -190,6 +207,10 @@ class IndexSpec:
                     f"{self.n_shards} requires the geometric 'gkmeans' "
                     "partitioner; round_robin shards are dealt by row "
                     "order and carry no centroids to route against")
+        if self.executor not in EXECUTORS:
+            raise ValidationError(
+                f"unknown executor {self.executor!r}; expected one of "
+                f"{list(EXECUTORS)}")
         if self.seed_sample is not None:
             object.__setattr__(self, "seed_sample", check_positive_int(
                 self.seed_sample, name="seed_sample"))
@@ -231,6 +252,7 @@ class IndexSpec:
             "n_shards": self.n_shards,
             "partitioner": self.partitioner,
             "shard_probe": self.shard_probe,
+            "executor": self.executor,
             "symmetrize": self.symmetrize,
             "random_state": self.random_state,
             "params": dict(self.params),
@@ -248,8 +270,8 @@ class IndexSpec:
                 f"index spec must be a mapping, got {type(payload).__name__}")
         known = {"backend", "n_neighbors", "metric", "dtype", "pool_size",
                  "n_starts", "seed_sample", "workers", "n_shards",
-                 "partitioner", "shard_probe", "symmetrize", "random_state",
-                 "params"}
+                 "partitioner", "shard_probe", "executor", "symmetrize",
+                 "random_state", "params"}
         unknown = set(payload) - known
         if unknown:
             raise ValidationError(

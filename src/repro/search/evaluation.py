@@ -58,7 +58,8 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
                     pool_size: int | None = None, batch: bool | None = None,
                     workers: int | None = None,
                     shard_workers: int | None = None,
-                    shard_probe: int | None = None) -> SearchEvaluation:
+                    shard_probe: int | None = None,
+                    executor: str | None = None) -> SearchEvaluation:
     """Evaluate a searcher against exact brute-force results.
 
     Parameters
@@ -92,6 +93,10 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
         query is served by its ``shard_probe`` nearest shards only.  Unlike
         the knobs above this trades recall for throughput (the evaluation
         reports exactly that frontier); ignored when ``None``.
+    executor:
+        Shard fan-out executor for a batched index search (``"thread"`` or
+        ``"process"``; a pure throughput knob like the worker counts).
+        Only valid for batched index searches; ignored when ``None``.
 
     The brute-force oracle is computed under the searcher's own metric, so
     cosine / inner-product searchers are scored against the right ground
@@ -108,13 +113,14 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
     if batch is None:
         batch = is_index
     if (not batch or not is_index) and \
-            (shard_workers is not None or shard_probe is not None):
+            (shard_workers is not None or shard_probe is not None or
+             executor is not None):
         # Silently dropping these would report a plain evaluation the
-        # caller believes is sharded/routed.
+        # caller believes is sharded/routed/out-of-process.
         raise ValidationError(
-            "shard_workers/shard_probe only apply to batched searches of "
-            "a (sharded) index; remove them or use batch=True with an "
-            "Index/ShardedIndex searcher")
+            "shard_workers/shard_probe/executor only apply to batched "
+            "searches of a (sharded) index; remove them or use batch=True "
+            "with an Index/ShardedIndex searcher")
 
     engine = getattr(searcher, "engine_", None)
     exact_idx, _ = brute_force_neighbors(queries, searcher.data, n_results,
@@ -130,6 +136,8 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
                 fan_out["shard_workers"] = shard_workers
             if shard_probe is not None:
                 fan_out["shard_probe"] = shard_probe
+            if executor is not None:
+                fan_out["executor"] = executor
             approx, _ = searcher.search(queries, n_results,
                                         pool_size=pool_size, workers=workers,
                                         **fan_out)

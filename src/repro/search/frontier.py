@@ -50,7 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..distance import DistanceEngine
-from ..validation import check_positive_int
+from ..validation import check_positive_int, clamp_workers
 from ._seeding import seed_entry_points, seed_heaps
 
 __all__ = ["ServingStats", "frontier_batch_search"]
@@ -191,7 +191,8 @@ def frontier_batch_search(data: np.ndarray, adjacency: list[np.ndarray],
                           workers: int = 1,
                           rng: np.random.Generator | None = None,
                           engine: DistanceEngine | None = None,
-                          data_norms: np.ndarray | None = None
+                          data_norms: np.ndarray | None = None,
+                          executor: ThreadPoolExecutor | None = None
                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
                                      ServingStats]:
     """Multi-query greedy search scoring merged frontiers in one gemm per round.
@@ -205,11 +206,19 @@ def frontier_batch_search(data: np.ndarray, adjacency: list[np.ndarray],
       cross-scoring on disjoint frontiers; larger groups issue fewer, bigger
       gemms.
     * ``workers`` — worker threads the independent group walks are spread
-      over (clamped to the group count; ``1`` walks the groups sequentially).
+      over (clamped to the group count and to ``os.cpu_count()``; ``1``
+      walks the groups sequentially).
 
     Neither knob affects the returned results — every query's walk is
     independent, seeded from the shared entry-point sample, and mutates only
     its own state, so ``workers=N`` is bit-for-bit identical to ``workers=1``.
+
+    ``executor`` lets a caller that serves many batches (e.g.
+    :class:`~repro.search.greedy.GraphSearcher`) supply a persistent
+    :class:`~concurrent.futures.ThreadPoolExecutor` instead of paying
+    thread start-up on every call; when ``None`` and ``workers > 1`` a
+    transient pool is created for the call.  The pool is only ever *used*
+    here, never closed.
 
     Returns
     -------
@@ -232,7 +241,8 @@ def frontier_batch_search(data: np.ndarray, adjacency: list[np.ndarray],
     if max_group is None:
         max_group = m
     max_group = max(1, int(max_group))
-    workers = check_positive_int(workers, name="workers")
+    workers = clamp_workers(
+        check_positive_int(workers, name="workers"), name="workers")
 
     sample, seed_block, query_norms, n_starts = seed_entry_points(
         data, queries, n_starts, seed_sample, rng, engine, data_norms)
@@ -265,9 +275,11 @@ def frontier_batch_search(data: np.ndarray, adjacency: list[np.ndarray],
     # threaded walks need no locks and cannot reorder each other's results.
     if workers == 1:
         walked = [walk_group(rows) for rows in groups]
+    elif executor is not None:
+        walked = list(executor.map(walk_group, groups))
     else:
-        with ThreadPoolExecutor(max_workers=workers) as executor:
-            walked = list(executor.map(walk_group, groups))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            walked = list(pool.map(walk_group, groups))
 
     out_idx = np.full((m, n_results), -1, dtype=np.int64)
     out_dist = np.full((m, n_results), np.inf, dtype=np.float64)

@@ -15,12 +15,18 @@ queries in a single gemm before walking the graph per query.
 from __future__ import annotations
 
 import heapq
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from ..distance import DistanceEngine, resolve_metric
 from ..exceptions import GraphError
-from ..validation import check_data_matrix, check_positive_int, check_random_state
+from ..validation import (
+    check_data_matrix,
+    check_positive_int,
+    check_random_state,
+    clamp_workers,
+)
 from ..graph.knngraph import KNNGraph
 from ._seeding import seed_entry_points, seed_heaps
 from .frontier import ServingStats, frontier_batch_search
@@ -268,11 +274,44 @@ class GraphSearcher:
         self.last_n_evaluations = 0
         self.last_per_query_evaluations: np.ndarray | None = None
         self.last_serving_stats: ServingStats | None = None
+        # Persistent walk pool, created lazily on the first threaded batch
+        # and reused until the requested worker count changes — serving many
+        # batches must not pay thread start-up per call.
+        self._walk_pool: ThreadPoolExecutor | None = None
+        self._walk_pool_workers = 0
 
     @property
     def metric(self) -> str:
         """Canonical metric name the searcher scores queries under."""
         return self.engine_.metric
+
+    def close(self) -> None:
+        """Release the persistent walk pool (idempotent).
+
+        The searcher remains usable afterwards — the next threaded
+        ``batch_query`` simply recreates the pool.
+        """
+        pool, self._walk_pool = self._walk_pool, None
+        self._walk_pool_workers = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _group_walk_pool(self, workers: int) -> ThreadPoolExecutor | None:
+        """Persistent pool for ``workers`` threads (``None`` when serial)."""
+        if workers <= 1:
+            return None
+        if self._walk_pool is None or self._walk_pool_workers != workers:
+            if self._walk_pool is not None:
+                self._walk_pool.shutdown(wait=True)
+            self._walk_pool = ThreadPoolExecutor(max_workers=workers)
+            self._walk_pool_workers = workers
+        return self._walk_pool
 
     def query(self, query: np.ndarray, n_results: int = 10, *,
               pool_size: int | None = None,
@@ -344,8 +383,8 @@ class GraphSearcher:
             raise GraphError(
                 f"unknown batch strategy {strategy!r}; expected 'frontier' "
                 "or 'perquery'")
-        workers = 1 if workers is None else check_positive_int(
-            workers, name="workers")
+        workers = 1 if workers is None else clamp_workers(
+            check_positive_int(workers, name="workers"), name="workers")
         pool = self.pool_size if pool_size is None else pool_size
         common = dict(
             pool_size=pool, n_starts=self.n_starts,
@@ -355,7 +394,8 @@ class GraphSearcher:
         if strategy == "frontier":
             out_idx, out_dist, evaluations, stats = frontier_batch_search(
                 self.data, self._adjacency, queries, n_results,
-                workers=workers, **common)
+                workers=workers, executor=self._group_walk_pool(workers),
+                **common)
             self.last_serving_stats = stats
         else:
             out_idx, out_dist, evaluations = greedy_search_batch(

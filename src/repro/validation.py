@@ -7,6 +7,8 @@ internally (C-contiguous ``float64``/``int64`` arrays) and raise
 
 from __future__ import annotations
 
+import os
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -20,7 +22,37 @@ __all__ = [
     "check_fraction",
     "check_random_state",
     "check_knn_indices",
+    "clamp_workers",
 ]
+
+#: One-time flag of :func:`clamp_workers` — oversubscription is a
+#: configuration smell worth one warning, not one per search call.
+_OVERSUBSCRIPTION_WARNED = False
+
+
+def clamp_workers(value: int, *, name: str = "workers") -> int:
+    """Clamp a requested worker count to the machine's CPU count.
+
+    Spreading GIL-releasing gemms (or shard processes) over more workers
+    than there are CPUs cannot add parallelism — it only adds scheduler
+    churn, which on a 1-core box makes ``workers=4`` measurably *slower*
+    than ``workers=1``.  Worker counts are pure throughput knobs (results
+    are bit-for-bit identical at every level), so clamping is always safe;
+    the first clamped call emits a :class:`RuntimeWarning` so the
+    misconfiguration is visible without spamming every search.
+    """
+    global _OVERSUBSCRIPTION_WARNED
+    cpus = os.cpu_count() or 1
+    if value <= cpus:
+        return value
+    if not _OVERSUBSCRIPTION_WARNED:
+        warnings.warn(
+            f"{name}={value} exceeds os.cpu_count()={cpus}; clamping to "
+            f"{cpus}.  Worker counts are pure throughput knobs, so the "
+            "results are unchanged (further oversubscription warnings "
+            "are suppressed)", RuntimeWarning, stacklevel=3)
+        _OVERSUBSCRIPTION_WARNED = True
+    return cpus
 
 
 def check_data_matrix(data, *, name: str = "data", min_samples: int = 1,

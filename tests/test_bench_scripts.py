@@ -1,0 +1,182 @@
+"""Unit tests for the bench-trajectory tooling in ``scripts/``.
+
+``scripts/compare_bench.py`` is the CI regression gate: it must fail the
+build only on a genuine matched-case slowdown, and it must *degrade
+gracefully* — exit 0 with a visible note, never crash or false-gate —
+when the committed trajectory is empty, malformed, or shares no case
+names with the fresh run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / \
+    "compare_bench.py"
+
+
+def _load_compare_bench():
+    spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+compare_bench = _load_compare_bench()
+
+_MACHINE = {
+    "python": "3.11.7",
+    "cpu_count": 1,
+    "n_threads": 1,
+    "blas": "test-blas",
+}
+
+
+def _trajectory(results, machine=_MACHINE, commit="abc1234"):
+    return {
+        "schema": "bench-trajectory-v1",
+        "commit": commit,
+        "machine": machine,
+        "results": results,
+    }
+
+
+def _case(name, min_seconds, qps=None):
+    result = {"name": name, "min_seconds": min_seconds}
+    if qps is not None:
+        result["extra"] = {"queries_per_second": qps}
+    return result
+
+
+def _write(tmp_path, filename, document):
+    path = tmp_path / filename
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+def _run(tmp_path, baseline, fresh, *extra_args, monkeypatch=None):
+    base_path = _write(tmp_path, "baseline.json", baseline)
+    fresh_path = _write(tmp_path, "fresh.json", fresh)
+    if monkeypatch is not None:
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+    return compare_bench.main([base_path, fresh_path, *extra_args])
+
+
+class TestGracefulDegradation:
+    def test_empty_baseline_exits_zero_with_note(self, tmp_path, capsys,
+                                                 monkeypatch):
+        code = _run(tmp_path, _trajectory([]),
+                    _trajectory([_case("bench_a", 0.5)]),
+                    monkeypatch=monkeypatch)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Nothing to gate" in out
+        assert "no usable timed cases" in out
+
+    def test_null_results_exits_zero_not_crash(self, tmp_path, capsys,
+                                               monkeypatch):
+        code = _run(tmp_path, _trajectory(None),
+                    _trajectory([_case("bench_a", 0.5)]),
+                    monkeypatch=monkeypatch)
+        assert code == 0
+        assert "Nothing to gate" in capsys.readouterr().out
+
+    def test_malformed_result_entries_are_skipped(self, tmp_path, capsys,
+                                                  monkeypatch):
+        # Entries without a usable timing (or that are not dicts at all)
+        # must be ignored, not crash the gate.
+        baseline = _trajectory([
+            "not-a-dict",
+            {"name": "bench_a"},
+            {"min_seconds": 0.5},
+            {"name": "bench_b", "min_seconds": "fast"},
+        ])
+        code = _run(tmp_path, baseline, _trajectory([_case("bench_a", 0.5)]),
+                    monkeypatch=monkeypatch)
+        assert code == 0
+        assert "Nothing to gate" in capsys.readouterr().out
+
+    def test_disjoint_case_names_exit_zero_with_note(self, tmp_path, capsys,
+                                                     monkeypatch):
+        code = _run(tmp_path,
+                    _trajectory([_case("bench_old", 0.5)]),
+                    _trajectory([_case("bench_new", 90.0)]),
+                    monkeypatch=monkeypatch)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Nothing to gate" in out
+        assert "match" in out
+
+    def test_bad_schema_still_fails_loudly(self, tmp_path):
+        # Graceful degradation covers empty/unmatched data, not a file
+        # that is not a trajectory at all.
+        base_path = _write(tmp_path, "baseline.json", {"schema": "v0"})
+        fresh_path = _write(tmp_path, "fresh.json",
+                            _trajectory([_case("bench_a", 0.5)]))
+        with pytest.raises(SystemExit):
+            compare_bench.main([base_path, fresh_path])
+
+
+class TestGate:
+    def test_matched_regression_fails(self, tmp_path, capsys, monkeypatch):
+        code = _run(tmp_path,
+                    _trajectory([_case("bench_a", 0.5, qps=200.0)]),
+                    _trajectory([_case("bench_a", 2.0, qps=50.0)]),
+                    monkeypatch=monkeypatch)
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "regressed beyond" in captured.err
+
+    def test_matched_within_budget_passes(self, tmp_path, capsys,
+                                          monkeypatch):
+        code = _run(tmp_path,
+                    _trajectory([_case("bench_a", 0.5)]),
+                    _trajectory([_case("bench_a", 0.6)]),
+                    monkeypatch=monkeypatch)
+        assert code == 0
+        assert "| ok |" in capsys.readouterr().out
+
+    def test_cross_machine_mismatch_warns_only(self, tmp_path, capsys,
+                                               monkeypatch):
+        other = dict(_MACHINE, cpu_count=64)
+        code = _run(tmp_path,
+                    _trajectory([_case("bench_a", 0.5)]),
+                    _trajectory([_case("bench_a", 5.0)], machine=other),
+                    monkeypatch=monkeypatch)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gate disarmed" in out
+        assert "slow (ungated)" in out
+
+    def test_gate_cross_machine_flag_rearms(self, tmp_path, capsys,
+                                            monkeypatch):
+        other = dict(_MACHINE, cpu_count=64)
+        code = _run(tmp_path,
+                    _trajectory([_case("bench_a", 0.5)]),
+                    _trajectory([_case("bench_a", 5.0)], machine=other),
+                    "--gate-cross-machine", monkeypatch=monkeypatch)
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_added_and_removed_cases_never_gate(self, tmp_path, capsys,
+                                                monkeypatch):
+        code = _run(tmp_path,
+                    _trajectory([_case("bench_a", 0.5),
+                                 _case("bench_gone", 0.1)]),
+                    _trajectory([_case("bench_a", 0.5),
+                                 _case("bench_added", 99.0)]),
+                    monkeypatch=monkeypatch)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Added (not gated): `bench_added`" in out
+        assert "Removed (not gated): `bench_gone`" in out
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-v"]))

@@ -1,0 +1,336 @@
+"""The pluggable shard-executor layer and the serving-resource bugfixes.
+
+Covers the three serving-path bugfixes — persistent walk pools instead of
+per-call ``ThreadPoolExecutor`` churn, ``clamp_workers`` oversubscription
+clamping, and original-exception surfacing out of both executor kinds —
+plus the ``IndexSpec.executor`` knob's validation/persistence surface and
+the process executor's disk plumbing (saved shard dirs and the spill path
+for never-saved indexes).
+
+The bit-for-bit determinism contract of ``executor="process"`` itself is
+enforced in ``test_serving_determinism.py``; here we test the machinery.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.index.executors as executors_mod
+import repro.search.frontier as frontier_mod
+import repro.search.greedy as greedy_mod
+import repro.validation as validation
+from repro.datasets import make_sift_like, train_query_split
+from repro.exceptions import ServingError, ValidationError
+from repro.index import (
+    EXECUTORS,
+    Index,
+    IndexSpec,
+    ProcessShardExecutor,
+    ShardedIndex,
+    ShardSearchTask,
+    ThreadShardExecutor,
+)
+from repro.search import GraphSearcher, evaluate_search
+from repro.validation import clamp_workers
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    data = make_sift_like(500, 12, random_state=21)
+    return train_query_split(data, 40, random_state=21)
+
+
+@pytest.fixture(scope="module")
+def saved_index(corpus, tmp_path_factory):
+    """A small monolithic index saved to disk (process-executor fodder)."""
+    base, _ = corpus
+    spec = IndexSpec(backend="bruteforce", n_neighbors=8, random_state=3)
+    index = Index.build(base, spec)
+    path = tmp_path_factory.mktemp("executors") / "mono.idx"
+    index.save(path)
+    return index, str(path)
+
+
+class TestClampWorkers:
+    """Oversubscription is clamped to the CPU budget, warning once."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self):
+        validation._OVERSUBSCRIPTION_WARNED = False
+        yield
+        validation._OVERSUBSCRIPTION_WARNED = False
+
+    def test_within_budget_is_untouched(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert clamp_workers(1) == 1
+            assert clamp_workers(8) == 8
+
+    def test_oversubscription_clamps_and_warns_once(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="shard_workers=16"):
+            assert clamp_workers(16, name="shard_workers") == 2
+        # The warning fires once per process, not once per call.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert clamp_workers(16) == 2
+
+    def test_unknown_cpu_count_falls_back_to_one(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        with pytest.warns(RuntimeWarning):
+            assert clamp_workers(4) == 1
+
+    def test_search_layers_apply_the_clamp(self, corpus, monkeypatch):
+        base, queries = corpus
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        index = Index.build(base, IndexSpec(backend="bruteforce",
+                                            n_neighbors=8, random_state=3))
+        index.search(queries, 5, workers=64)
+        assert index.last_serving_stats.workers == 1
+        index.close()
+
+
+class _CountingPool:
+    """Stand-in ThreadPoolExecutor factory that counts constructions."""
+
+    def __init__(self):
+        self.created = 0
+        self._real = frontier_mod.ThreadPoolExecutor
+
+    def __call__(self, *args, **kwargs):
+        self.created += 1
+        return self._real(*args, **kwargs)
+
+
+class TestPersistentWalkPool:
+    """Serving never builds a thread pool per call (the frontier bugfix)."""
+
+    def test_searcher_reuses_one_pool_across_calls(self, corpus,
+                                                   monkeypatch):
+        base, queries = corpus
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        graph_index = Index.build(
+            base, IndexSpec(backend="bruteforce", n_neighbors=8,
+                            random_state=3))
+        searcher = graph_index._searcher
+        assert isinstance(searcher, GraphSearcher)
+        frontier_pools = _CountingPool()
+        greedy_pools = _CountingPool()
+        monkeypatch.setattr(frontier_mod, "ThreadPoolExecutor",
+                            frontier_pools)
+        monkeypatch.setattr(greedy_mod, "ThreadPoolExecutor", greedy_pools)
+        for _ in range(3):
+            graph_index.search(queries, 5, workers=4)
+        # One persistent pool in the searcher; zero transient pools in the
+        # frontier (it is handed the persistent one).
+        assert greedy_pools.created == 1
+        assert frontier_pools.created == 0
+        graph_index.close()
+
+    def test_close_releases_and_recreates_on_demand(self, corpus,
+                                                    monkeypatch):
+        base, queries = corpus
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        index = Index.build(base, IndexSpec(backend="bruteforce",
+                                            n_neighbors=8, random_state=3))
+        baseline, _ = index.search(queries, 5, workers=4)
+        index.close()
+        index.close()  # idempotent
+        assert index._searcher._walk_pool is None
+        after, _ = index.search(queries, 5, workers=4)
+        assert np.array_equal(baseline, after)
+        index.close()
+
+    def test_thread_shard_executor_reuses_pool(self, saved_index,
+                                               monkeypatch):
+        index, _ = saved_index
+        pools = _CountingPool()
+        monkeypatch.setattr(executors_mod, "ThreadPoolExecutor", pools)
+        tasks = [ShardSearchTask(shard=0, queries=index.data[:3],
+                                 shard_k=4, seed=0) for _ in range(2)]
+        executor = ThreadShardExecutor([index], max_workers=2)
+        executor.run(tasks)
+        executor.run(tasks)
+        assert pools.created == 1
+        executor.close()
+        executor.close()  # idempotent
+        executor.run(tasks)
+        assert pools.created == 2
+        executor.close()
+
+    def test_single_worker_runs_inline_without_pool(self, saved_index,
+                                                    monkeypatch):
+        index, _ = saved_index
+        pools = _CountingPool()
+        monkeypatch.setattr(executors_mod, "ThreadPoolExecutor", pools)
+        executor = ThreadShardExecutor([index], max_workers=1)
+        tasks = [ShardSearchTask(shard=0, queries=index.data[:3],
+                                 shard_k=4, seed=0)] * 2
+        executor.run(tasks)
+        assert pools.created == 0
+
+
+class TestCrashSurfacing:
+    """A task failing inside the pool surfaces its original exception."""
+
+    def test_thread_executor_surfaces_original_exception(self, saved_index):
+        index, _ = saved_index
+        good = ShardSearchTask(shard=0, queries=index.data[:3], shard_k=4,
+                               seed=0)
+        bad = ShardSearchTask(shard=0, queries=index.data[:3], shard_k=0,
+                              seed=0)
+        executor = ThreadShardExecutor([index], max_workers=2)
+        try:
+            with pytest.raises(ValidationError, match="n_results"):
+                executor.run([good, bad])
+        finally:
+            executor.close()
+
+    def test_process_executor_surfaces_original_exception(self,
+                                                          saved_index):
+        index, path = saved_index
+        executor = ProcessShardExecutor([path], max_workers=1)
+        try:
+            bad = ShardSearchTask(shard=0, queries=index.data[:3],
+                                  shard_k=0, seed=0)
+            with pytest.raises(ValidationError, match="n_results"):
+                executor.run([bad])
+            # The pool survives a task-level failure and keeps serving.
+            good = ShardSearchTask(shard=0, queries=index.data[:3],
+                                   shard_k=4, seed=0)
+            result = executor.run([good])[0]
+            direct, _ = index.search(index.data[:3], 4, random_state=0)
+            assert np.array_equal(result.indices, direct)
+        finally:
+            executor.close()
+
+    def test_process_executor_requires_shards_on_disk(self, tmp_path):
+        with pytest.raises(ServingError, match="does not exist"):
+            ProcessShardExecutor([str(tmp_path / "missing.idx")],
+                                 max_workers=1)
+
+
+class TestExecutorSpecSurface:
+    """Validation + persistence of the ``executor`` knob."""
+
+    def test_spec_round_trips_executor(self):
+        spec = IndexSpec(backend="bruteforce", executor="process")
+        assert IndexSpec.from_json(spec.to_json()).executor == "process"
+
+    def test_spec_without_executor_key_defaults_to_thread(self):
+        payload = IndexSpec(backend="bruteforce").to_dict()
+        del payload["executor"]  # a pre-executor-knob index file
+        assert IndexSpec.from_dict(payload).executor == "thread"
+
+    def test_spec_rejects_unknown_executor(self):
+        with pytest.raises(ValidationError, match="executor"):
+            IndexSpec(backend="bruteforce", executor="rayon")
+
+    def test_search_rejects_unknown_executor(self, corpus):
+        base, queries = corpus
+        sharded = ShardedIndex.build(
+            base, IndexSpec(backend="bruteforce", n_neighbors=8,
+                            n_shards=2, random_state=3))
+        with pytest.raises(ValidationError, match="executor"):
+            sharded.search(queries, 5, executor="rayon")
+        sharded.close()
+
+    def test_monolithic_index_serves_in_process_only(self, saved_index,
+                                                     corpus):
+        index, _ = saved_index
+        _, queries = corpus
+        idx, _ = index.search(queries, 5, executor="thread")
+        base_idx, _ = index.search(queries, 5)
+        assert np.array_equal(idx, base_idx)
+        with pytest.raises(ValidationError, match="monolithic"):
+            index.search(queries, 5, executor="process")
+
+    def test_evaluate_search_rejects_executor_per_query(self, saved_index,
+                                                        corpus):
+        index, _ = saved_index
+        _, queries = corpus
+        with pytest.raises(ValidationError, match="batch"):
+            evaluate_search(index, queries[:4], n_results=3, batch=False,
+                            executor="process")
+
+    def test_executors_constant_names_both_kinds(self):
+        assert set(EXECUTORS) == {"thread", "process"}
+        assert ThreadShardExecutor.name == "thread"
+        assert ProcessShardExecutor.name == "process"
+
+
+class TestServingResources:
+    """Executor caching, close(), and the spill path for unsaved indexes."""
+
+    @pytest.fixture()
+    def sharded(self, corpus):
+        base, _ = corpus
+        index = ShardedIndex.build(
+            base, IndexSpec(backend="bruteforce", n_neighbors=8,
+                            n_shards=2, random_state=3))
+        yield index
+        index.close()
+
+    def test_executor_cached_across_searches(self, sharded, corpus):
+        _, queries = corpus
+        sharded.search(queries, 5, shard_workers=2)
+        first = sharded._executors["thread"][1]
+        sharded.search(queries, 5, shard_workers=2)
+        assert sharded._executors["thread"][1] is first
+        assert sharded.last_serving_stats.executor == "thread"
+
+    def test_close_is_idempotent_and_index_survives(self, sharded, corpus):
+        _, queries = corpus
+        baseline, _ = sharded.search(queries, 5, shard_workers=2)
+        sharded.close()
+        sharded.close()
+        assert sharded._executors == {}
+        after, _ = sharded.search(queries, 5, shard_workers=2)
+        assert np.array_equal(baseline, after)
+
+    def test_unsaved_index_spills_shards_for_process_executor(self, sharded,
+                                                              corpus):
+        _, queries = corpus
+        # Never saved: the process executor spills each shard NPZ once.
+        assert sharded._source_dir is None
+        baseline, base_dist = sharded.search(queries, 5)
+        idx, dist = sharded.search(queries, 5, executor="process")
+        assert np.array_equal(idx, baseline)
+        assert np.array_equal(dist, base_dist)
+        spill = sharded._spill_dir
+        assert spill is not None and os.path.isdir(spill)
+        sharded.search(queries, 5, executor="process")
+        assert sharded._spill_dir == spill  # spilled once, reused
+        sharded.close()
+        assert not os.path.exists(spill)
+
+    def test_saved_index_serves_process_from_source_dir(self, sharded,
+                                                        corpus, tmp_path):
+        _, queries = corpus
+        path = tmp_path / "served.shards"
+        sharded.save(path)
+        baseline, _ = sharded.search(queries, 5)
+        idx, _ = sharded.search(queries, 5, executor="process")
+        assert np.array_equal(idx, baseline)
+        assert sharded._spill_dir is None  # saved shards reused, no spill
+        assert sharded.last_serving_stats.executor == "process"
+
+    def test_spec_executor_drives_default(self, corpus):
+        base, queries = corpus
+        sharded = ShardedIndex.build(
+            base, IndexSpec(backend="bruteforce", n_neighbors=8,
+                            n_shards=2, random_state=3,
+                            executor="process"))
+        try:
+            sharded.search(queries, 5)
+            assert sharded.last_serving_stats.executor == "process"
+            # A per-call override wins without touching the spec default.
+            sharded.search(queries, 5, executor="thread")
+            assert sharded.last_serving_stats.executor == "thread"
+        finally:
+            sharded.close()

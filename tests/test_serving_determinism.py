@@ -20,6 +20,8 @@ classes below):
   shard count, across metric × dtype.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -75,7 +77,8 @@ class TestWorkerBitwiseEquality:
         assert one[3].group_sizes == four[3].group_sizes
         assert one[3].group_rounds == four[3].group_rounds
         assert one[3].group_gemms == four[3].group_gemms
-        assert four[3].workers == 4
+        # (on a small box the requested fan-out is clamped to the CPUs)
+        assert four[3].workers == min(4, os.cpu_count() or 1)
 
     def test_searcher_workers_bitwise_identical(self, serving_setup):
         base, queries, graph = serving_setup
@@ -100,7 +103,8 @@ class TestWorkerBitwiseEquality:
             assert idx.tobytes() + dist.tobytes() + evals.tobytes() \
                 == baseline
             stats = served_index.last_serving_stats
-            assert stats.workers == min(workers, stats.n_groups)
+            assert stats.workers == min(workers, os.cpu_count() or 1,
+                                        stats.n_groups)
 
 
 class TestSeededRepeatability:
@@ -167,7 +171,8 @@ class TestServingStatsSurface:
         evaluation = evaluate_search(served_index, queries, n_results=5,
                                      workers=2)
         assert evaluation.serving_stats is not None
-        assert evaluation.serving_stats.workers == 2
+        assert evaluation.serving_stats.workers == \
+            min(2, os.cpu_count() or 1)
         perquery = evaluate_search(served_index, queries[:8], n_results=5,
                                    batch=False)
         assert perquery.serving_stats is None
@@ -305,7 +310,8 @@ class TestShardFanOutDeterminism:
         evaluation = evaluate_search(sharded, queries, n_results=5,
                                      shard_workers=3)
         assert evaluation.serving_stats is not None
-        assert evaluation.serving_stats.shard_workers == 3
+        assert evaluation.serving_stats.shard_workers == \
+            min(3, os.cpu_count() or 1)
         assert evaluation.serving_stats.n_shards == 4
 
     def test_evaluate_search_rejects_fanout_knobs_per_query(
@@ -436,6 +442,75 @@ class TestRoutedSearchDeterminism:
         assert np.array_equal(idx, base_idx)
         with pytest.raises(ValidationError, match="shard_probe"):
             served_index.search(queries, 6, shard_probe=2)
+
+
+class TestExecutorDeterminism:
+    """``executor`` ∈ {thread, process} is a pure throughput knob.
+
+    The process executor moves the per-shard walks into spawned worker
+    processes that each load their shard NPZ once; the tasks carry the
+    resolved seed and every executor funnels through the same
+    ``search_shard_index`` path — so thread, process and the serial inline
+    fallback must return bit-for-bit identical neighbours, distances and
+    evaluation counts, for full fan-out, routed and single-query searches,
+    and across a save/load round-trip.
+    """
+
+    @pytest.fixture(scope="class")
+    def executor_setup(self, tmp_path_factory):
+        corpus = make_sift_like(400, 12, random_state=7)
+        base, queries = train_query_split(corpus, 32, random_state=7)
+        spec = IndexSpec(backend="bruteforce", n_neighbors=8, n_shards=3,
+                         partitioner="gkmeans", random_state=11)
+        sharded = ShardedIndex.build(base, spec)
+        path = tmp_path_factory.mktemp("executors") / "served.shards"
+        sharded.save(path)
+        yield sharded, queries, path
+        sharded.close()
+
+    @staticmethod
+    def _search_bytes(index, queries, **kwargs):
+        idx, dist = index.search(queries, 6, **kwargs)
+        evals = index.last_per_query_evaluations
+        return idx.tobytes() + dist.tobytes() + evals.tobytes()
+
+    def test_process_bitwise_equals_thread_and_serial(self, executor_setup):
+        sharded, queries, _ = executor_setup
+        serial = self._search_bytes(sharded, queries, shard_workers=1)
+        for executor in ("thread", "process"):
+            assert self._search_bytes(sharded, queries, executor=executor,
+                                      shard_workers=2) == serial
+            assert sharded.last_serving_stats.executor == executor
+
+    def test_routed_process_bitwise_equals_thread(self, executor_setup):
+        sharded, queries, _ = executor_setup
+        for probe in (1, 2):
+            assert self._search_bytes(
+                sharded, queries, shard_probe=probe, executor="process") \
+                == self._search_bytes(
+                    sharded, queries, shard_probe=probe, executor="thread")
+
+    def test_single_query_process_equals_serial(self, executor_setup):
+        sharded, queries, _ = executor_setup
+        p_idx, p_dist = sharded.search(queries[0], 6, executor="process")
+        s_idx, s_dist = sharded.search(queries[0], 6)
+        assert np.array_equal(p_idx, s_idx)
+        assert np.array_equal(p_dist, s_dist)
+
+    def test_save_load_process_round_trip_identical(self, executor_setup):
+        sharded, queries, path = executor_setup
+        restored = ShardedIndex.load(path)
+        try:
+            assert self._search_bytes(restored, queries,
+                                      executor="process") \
+                == self._search_bytes(sharded, queries, executor="thread")
+        finally:
+            restored.close()
+
+    def test_repeated_process_searches_byte_identical(self, executor_setup):
+        sharded, queries, _ = executor_setup
+        assert self._search_bytes(sharded, queries, executor="process") \
+            == self._search_bytes(sharded, queries, executor="process")
 
 
 class TestWorkersValidation:

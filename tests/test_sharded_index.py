@@ -401,7 +401,8 @@ class TestServingStatsAggregation:
         stats = sharded_index.last_serving_stats
         assert isinstance(stats, ShardedServingStats)
         assert stats.n_shards == 4
-        assert stats.shard_workers == 2
+        # (the requested fan-out is clamped to the CPUs on a small box)
+        assert stats.shard_workers == min(2, os.cpu_count() or 1)
         assert stats.n_queries == N_QUERIES
         assert len(stats.shard_stats) == 4
         assert stats.n_groups == sum(s.n_groups for s in stats.shard_stats)
