@@ -1,0 +1,102 @@
+"""Networked-serving benchmark: localhost remote executor throughput.
+
+Records queries/sec of the ``executor="remote"`` fan-out — each shard
+behind a :class:`~repro.net.ShardServer` daemon on an ephemeral localhost
+port — for the full fan-out and for routed ``shard_probe=1`` serving, into
+the bench trajectory next to the thread/process rows of
+``test_serving_throughput.py``.  Localhost TCP plus pickling is the whole
+overhead of distribution here (the walks run in-process on the servers),
+so the recorded gap between ``remote`` and ``thread`` rows *is* the
+transport cost the deployment pays.
+
+The enforced contract mirrors every other serving benchmark: the remote
+rows must answer bit-for-bit like the local thread executor, and the
+transport must not be catastrophically slower than serving in-process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH, recall_against
+
+from repro.datasets import make_sift_like, train_query_split
+from repro.graph.bruteforce import brute_force_neighbors
+from repro.index import IndexSpec, build_index
+from repro.net import ShardServer
+
+N_SHARDS = 2
+
+#: queries/sec per case, for the cross-row soft guard.
+_RECORDED: dict = {}
+
+CASES = (
+    ("thread_full", "thread", None),
+    ("remote_full", "remote", None),
+    ("remote_routed", "remote", 1),
+)
+
+
+@pytest.fixture(scope="module")
+def remote_setup():
+    corpus = make_sift_like(BENCH.n_samples, BENCH.n_features,
+                            random_state=BENCH.random_state)
+    base, queries = train_query_split(corpus, 256,
+                                      random_state=BENCH.random_state)
+    exact_idx, _ = brute_force_neighbors(queries, base, 10)
+    spec = IndexSpec(backend="gkmeans", n_neighbors=BENCH.n_neighbors,
+                     pool_size=64, n_shards=N_SHARDS,
+                     partitioner="gkmeans",
+                     random_state=BENCH.random_state,
+                     params={"tau": BENCH.graph_tau,
+                             "cluster_size": BENCH.cluster_size})
+    index = build_index(base, spec)
+    servers = [ShardServer(index.shards[shard], shard_id=shard)
+               for shard in range(N_SHARDS)]
+    for server in servers:
+        server.start()
+    index.endpoints = [server.endpoint for server in servers]
+    yield index, queries, exact_idx
+    index.close()
+    for server in servers:
+        server.close()
+
+
+@pytest.mark.parametrize("case,executor,shard_probe", CASES)
+def test_remote_throughput(benchmark, remote_setup, case, executor,
+                           shard_probe):
+    index, queries, exact_idx = remote_setup
+    kwargs = {"executor": executor, "shard_workers": N_SHARDS}
+    if shard_probe is not None:
+        kwargs["shard_probe"] = shard_probe
+    indices, distances = benchmark.pedantic(
+        lambda: index.search(queries, 10, **kwargs),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+    queries_per_second = queries.shape[0] / benchmark.stats.stats.min
+    recall = recall_against(indices, exact_idx)
+    benchmark.extra_info["executor"] = executor
+    benchmark.extra_info["n_shards"] = N_SHARDS
+    benchmark.extra_info["shard_probe"] = shard_probe or N_SHARDS
+    benchmark.extra_info["queries_per_second"] = round(queries_per_second, 1)
+    benchmark.extra_info["recall_at_10"] = round(recall, 4)
+    print(f"\n{case}: {queries_per_second:,.0f} queries/s, "
+          f"recall@10={recall:.3f}")
+
+    assert recall >= 0.6 if shard_probe == 1 else recall >= 0.8
+    # Placement never changes answers: the remote rows must serve
+    # bit-for-bit the thread executor's results at the same probe.
+    thread_kwargs = dict(kwargs, executor="thread")
+    t_idx, t_dist = index.search(queries, 10, **thread_kwargs)
+    assert np.array_equal(indices, t_idx)
+    assert np.array_equal(distances, t_dist)
+    if executor == "remote":
+        assert index.last_serving_stats is not None
+
+    # Localhost framing/pickling overhead is real but bounded: the remote
+    # full fan-out must stay within ~20× of in-process serving (the loose
+    # bound only catches catastrophic transport regressions).
+    _RECORDED[case] = queries_per_second
+    if case == "remote_full" and "thread_full" in _RECORDED:
+        assert queries_per_second >= 0.05 * _RECORDED["thread_full"]

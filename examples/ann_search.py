@@ -85,22 +85,23 @@ def main() -> None:
     # merged by true distance.  Shard fan-out is a pure throughput knob.
     print()
     print("Building a 4-shard Alg.3 index (shard-parallel build) ...")
-    sharded = ShardedIndex.build(base, index.spec.replace(n_shards=4))
-    fanned = sharded.search(queries, 10, shard_workers=4)
-    sequential = sharded.search(queries, 10, shard_workers=1)
-    assert np.array_equal(fanned[0], sequential[0])
-    assert np.array_equal(fanned[1], sequential[1])
-    sharded_eval = evaluate_search(sharded, queries, n_results=10,
-                                   shard_workers=4)
-    mono_eval = evaluate_search(index, queries, n_results=10)
-    print(render_table([
-        {"index": "1 shard", "recall@10": mono_eval.recall_at_k,
-         "evals/query": mono_eval.mean_distance_evaluations},
-        {"index": "4 shards", "recall@10": sharded_eval.recall_at_k,
-         "evals/query": sharded_eval.mean_distance_evaluations},
-    ], title="Sharded serving: recall parity across shard counts"))
-    print(f"shard sizes: {sharded.shard_sizes}; fan-out at 4 threads "
-          "returned bit-for-bit the sequential fan-out's answer")
+    with ShardedIndex.build(base,
+                            index.spec.replace(n_shards=4)) as sharded:
+        fanned = sharded.search(queries, 10, shard_workers=4)
+        sequential = sharded.search(queries, 10, shard_workers=1)
+        assert np.array_equal(fanned[0], sequential[0])
+        assert np.array_equal(fanned[1], sequential[1])
+        sharded_eval = evaluate_search(sharded, queries, n_results=10,
+                                       shard_workers=4)
+        mono_eval = evaluate_search(index, queries, n_results=10)
+        print(render_table([
+            {"index": "1 shard", "recall@10": mono_eval.recall_at_k,
+             "evals/query": mono_eval.mean_distance_evaluations},
+            {"index": "4 shards", "recall@10": sharded_eval.recall_at_k,
+             "evals/query": sharded_eval.mean_distance_evaluations},
+        ], title="Sharded serving: recall parity across shard counts"))
+        print(f"shard sizes: {sharded.shard_sizes}; fan-out at 4 threads "
+              "returned bit-for-bit the sequential fan-out's answer")
 
     # Routed search: a gkmeans-partitioned index keeps its coarse
     # centroids, so shard_probe=P can walk only each query's P nearest

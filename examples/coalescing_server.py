@@ -52,29 +52,27 @@ def main() -> None:
     spec = IndexSpec(backend="gkmeans", n_neighbors=16, pool_size=64,
                      n_shards=2, random_state=SEED,
                      params={"tau": 5, "cluster_size": 50})
-    index = build_index(base, spec)
+    with build_index(base, spec) as index:
+        direct_idx, direct_dist = index.search(queries, K)
 
-    direct_idx, direct_dist = index.search(queries, K)
+        for executor in ("thread", "process"):
+            print(f"Serving {N_QUERIES} concurrent requests "
+                  f"(executor={executor})...")
+            # max_batch >= the request count: everything coalesces into one
+            # batch, so the responses are bit-for-bit the direct search.
+            idx, dist, stats = serve_concurrently(
+                index, queries, n_results=K, max_batch=N_QUERIES,
+                max_delay_ms=100.0, executor=executor)
+            assert np.array_equal(idx, direct_idx), \
+                f"{executor}: coalesced ids diverged from the direct search"
+            assert np.array_equal(dist, direct_dist), \
+                f"{executor}: coalesced distances diverged"
+            batch_sizes = sorted({record.batch_size for record in stats})
+            mean_wait = np.mean([record.queued_seconds for record in stats])
+            print(f"  OK: {len(stats)} responses identical to index.search, "
+                  f"batch sizes {batch_sizes}, "
+                  f"mean coalescing wait {mean_wait * 1e3:.2f} ms")
 
-    for executor in ("thread", "process"):
-        print(f"Serving {N_QUERIES} concurrent requests "
-              f"(executor={executor})...")
-        # max_batch >= the request count: everything coalesces into one
-        # batch, so the responses are bit-for-bit the direct search.
-        idx, dist, stats = serve_concurrently(
-            index, queries, n_results=K, max_batch=N_QUERIES,
-            max_delay_ms=100.0, executor=executor)
-        assert np.array_equal(idx, direct_idx), \
-            f"{executor}: coalesced ids diverged from the direct search"
-        assert np.array_equal(dist, direct_dist), \
-            f"{executor}: coalesced distances diverged"
-        batch_sizes = sorted({record.batch_size for record in stats})
-        mean_wait = np.mean([record.queued_seconds for record in stats])
-        print(f"  OK: {len(stats)} responses identical to index.search, "
-              f"batch sizes {batch_sizes}, "
-              f"mean coalescing wait {mean_wait * 1e3:.2f} ms")
-
-    index.close()
     print("Done: coalescing and the executor choice changed throughput "
           "only, never an answer.")
 

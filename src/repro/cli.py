@@ -29,7 +29,7 @@ from .distance import METRICS
 from .experiments import render_series, render_table
 from .experiments.config import DEFAULT, LARGE, SMALL, ExperimentScale
 from .experiments.runner import available_methods, run_method
-from .exceptions import ValidationError
+from .exceptions import ServingError, ValidationError
 from .index import (
     EXECUTORS,
     PARTITIONERS,
@@ -174,7 +174,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shard fan-out executor override for a "
                              "sharded index (default: the index spec's "
                              "setting; results are identical either way)")
+    search.add_argument("--endpoints", default=None,
+                        help="comma-separated host:port list, one per shard "
+                             "in shard order, required by --executor remote "
+                             "when the index manifest carries no deployment "
+                             "(one 'gkmeans serve' daemon per shard)")
+    search.add_argument("--dump", default=None,
+                        help="write the search results (indices, distances) "
+                             "to this NPZ file — for comparing executors "
+                             "bit-for-bit from the shell")
     search.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="serve one shard of a saved index over framed TCP")
+    serve.add_argument("index",
+                       help="a sharded index directory (pick the member "
+                            "with --shard) or a single-file index NPZ")
+    serve.add_argument("--shard", type=int, default=0,
+                       help="which shard of a sharded directory to load "
+                            "and serve (default 0)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port; 0 picks an ephemeral port, printed "
+                            "at startup")
+    serve.add_argument("--max-handlers", type=int, default=8,
+                       help="client connections served concurrently")
 
     sub.add_parser("list", help="list datasets, methods and experiments")
     return parser
@@ -231,50 +256,94 @@ def _run_search(args) -> int:
         print(f"error: cannot load index {args.index!r}: {exc}",
               file=sys.stderr)
         return 2
-    if args.queries is not None:
-        queries = np.load(args.queries)
-        source = args.queries
-    else:
-        n_queries = min(args.n_queries, index.n_points)
-        rng = np.random.default_rng(args.seed)
-        rows = rng.choice(index.n_points, size=n_queries, replace=False)
-        queries = index.data[rows]
-        source = f"{n_queries} indexed rows (self-queries)"
-    sharded = isinstance(index, ShardedIndex)
-    shard_workers = args.shard_workers if sharded else None
-    executor = args.executor if sharded else None
+    with index:
+        if args.queries is not None:
+            queries = np.load(args.queries)
+            source = args.queries
+        else:
+            n_queries = min(args.n_queries, index.n_points)
+            rng = np.random.default_rng(args.seed)
+            rows = rng.choice(index.n_points, size=n_queries, replace=False)
+            queries = index.data[rows]
+            source = f"{n_queries} indexed rows (self-queries)"
+        sharded = isinstance(index, ShardedIndex)
+        shard_workers = args.shard_workers if sharded else None
+        executor = args.executor if sharded else None
+        try:
+            if args.endpoints is not None:
+                if not sharded:
+                    raise ValidationError(
+                        "--endpoints applies to sharded indexes only "
+                        "(single-file indexes have no shard fan-out)")
+                index.endpoints = args.endpoints
+            evaluation = evaluate_search(index, queries, n_results=args.k,
+                                         pool_size=args.pool_size,
+                                         workers=args.workers,
+                                         shard_workers=shard_workers,
+                                         shard_probe=args.shard_probe,
+                                         executor=executor)
+        except (ValidationError, ServingError) as exc:
+            print(f"error: cannot search index {args.index!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"index:   {index!r}")
+        print(f"queries: {source}")
+        row = {
+            "k": args.k,
+            "recall@1": evaluation.recall_at_1,
+            f"recall@{args.k}": evaluation.recall_at_k,
+            "query_ms": evaluation.mean_query_seconds * 1000.0,
+            "distance_evals": evaluation.mean_distance_evaluations,
+        }
+        stats = evaluation.serving_stats
+        if stats is not None:
+            row.update(workers=stats.workers, groups=stats.n_groups,
+                       rounds=stats.n_rounds, gemms=stats.n_gemms,
+                       qps=stats.queries_per_second)
+            if getattr(stats, "n_shards", 1) > 1:
+                row.update(shards=stats.n_shards,
+                           shard_workers=stats.shard_workers,
+                           shard_probe=stats.shard_probe,
+                           executor=stats.executor)
+        print(render_table([row]))
+        if args.dump is not None:
+            # Searches are deterministic, so this replay returns exactly
+            # the results the evaluation above scored.
+            fan_out = {}
+            if shard_workers is not None:
+                fan_out["shard_workers"] = shard_workers
+            if args.shard_probe is not None:
+                fan_out["shard_probe"] = args.shard_probe
+            if executor is not None:
+                fan_out["executor"] = executor
+            indices, distances = index.search(
+                queries, args.k, pool_size=args.pool_size,
+                workers=args.workers, **fan_out)
+            np.savez(args.dump, indices=indices, distances=distances)
+            print(f"results dumped to {args.dump}")
+    return 0
+
+
+def _run_serve(args) -> int:
+    from .net import ShardServer, load_shard_for_serving
+
     try:
-        evaluation = evaluate_search(index, queries, n_results=args.k,
-                                     pool_size=args.pool_size,
-                                     workers=args.workers,
-                                     shard_workers=shard_workers,
-                                     shard_probe=args.shard_probe,
-                                     executor=executor)
-    except ValidationError as exc:
-        print(f"error: cannot search index {args.index!r}: {exc}",
+        index, shard_id, generation, n_shards = load_shard_for_serving(
+            args.index, shard=args.shard)
+    except (ValidationError, FileNotFoundError) as exc:
+        print(f"error: cannot load shard for serving: {exc}",
               file=sys.stderr)
         return 2
-    print(f"index:   {index!r}")
-    print(f"queries: {source}")
-    row = {
-        "k": args.k,
-        "recall@1": evaluation.recall_at_1,
-        f"recall@{args.k}": evaluation.recall_at_k,
-        "query_ms": evaluation.mean_query_seconds * 1000.0,
-        "distance_evals": evaluation.mean_distance_evaluations,
-    }
-    stats = evaluation.serving_stats
-    if stats is not None:
-        row.update(workers=stats.workers, groups=stats.n_groups,
-                   rounds=stats.n_rounds, gemms=stats.n_gemms,
-                   qps=stats.queries_per_second)
-        if getattr(stats, "n_shards", 1) > 1:
-            row.update(shards=stats.n_shards,
-                       shard_workers=stats.shard_workers,
-                       shard_probe=stats.shard_probe,
-                       executor=stats.executor)
-    print(render_table([row]))
-    index.close()
+    with index, ShardServer(index, host=args.host, port=args.port,
+                            shard_id=shard_id, generation=generation,
+                            max_handlers=args.max_handlers) as server:
+        print(f"serving shard {shard_id}/{n_shards} of {args.index} "
+              f"(generation {generation}) on {server.endpoint}",
+              flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
     return 0
 
 
@@ -325,6 +394,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "search":
         return _run_search(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "cluster":
         data = load_dataset(args.dataset, args.n_samples, args.n_features,

@@ -36,6 +36,12 @@ class ServingError(ReproError, RuntimeError):
     not be served for an operational (not validation) reason."""
 
 
+class ProtocolError(ServingError):
+    """A network frame violated the shard-serving wire protocol: bad magic,
+    unsupported protocol version, oversized payload or checksum mismatch.
+    The connection that produced it cannot be trusted and is closed."""
+
+
 class ServerClosedError(ServingError):
     """A request reached a coalescing server that has been closed."""
 

@@ -34,6 +34,7 @@ from .spec import (
 from . import backends as _backends  # noqa: F401  (populates BUILDERS)
 from .executors import (
     ProcessShardExecutor,
+    RemoteShardExecutor,
     ShardSearchTask,
     ThreadShardExecutor,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "ShardSearchTask",
     "ThreadShardExecutor",
     "ProcessShardExecutor",
+    "RemoteShardExecutor",
     "available_backends",
     "register_builder",
     "build_index",

@@ -16,13 +16,21 @@ so this module extracts the fan-out behind a small executor interface:
   entirely — the Python-side walk bookkeeping of different shards runs on
   different cores — at the cost of pickling the queries out and the top-k
   back.
+* :class:`RemoteShardExecutor` — the distribution step: each shard lives
+  behind a network endpoint (a ``gkmeans serve`` daemon, see
+  :mod:`repro.net.server`), and the fan-out sends each task to its shard's
+  endpoint over the framed RPC transport of :mod:`repro.net` — pooled
+  connections, per-RPC timeouts, bounded exponential-backoff retries, and
+  fail-fast :class:`~repro.exceptions.ServingError` surfacing the original
+  remote traceback.
 
-Both executors run the *same* per-task search function
-(:func:`search_shard_index`), collect results in task order, and surface a
-failing task's original exception, so the executor choice is a pure
-throughput knob: results are bit-for-bit identical between ``thread``,
-``process`` and the serial inline path — a contract enforced by the
-determinism suite, not left to hope.
+All executors run the *same* per-task search function
+(:func:`search_shard_index`) — the shard servers included — collect
+results in task order, and surface a failing task's original exception,
+so the executor choice is a pure placement knob: results are bit-for-bit
+identical between ``thread``, ``process``, ``remote`` and the serial
+inline path — a contract enforced by the determinism suite, not left to
+hope.
 """
 
 from __future__ import annotations
@@ -36,10 +44,12 @@ from multiprocessing import get_context
 import numpy as np
 
 from ..exceptions import ServingError
+from ..net.client import EndpointPool
 from .facade import Index
 
 __all__ = ["ShardSearchTask", "ShardSearchResult", "search_shard_index",
-           "ThreadShardExecutor", "ProcessShardExecutor"]
+           "ThreadShardExecutor", "ProcessShardExecutor",
+           "RemoteShardExecutor"]
 
 
 @dataclass(frozen=True)
@@ -140,6 +150,77 @@ class ThreadShardExecutor:
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class RemoteShardExecutor:
+    """Networked shard fan-out: one RPC endpoint per shard.
+
+    ``endpoints[s]`` must serve shard ``s`` (a ``gkmeans serve`` daemon
+    that loaded that shard's NPZ) — the ordering comes from the deployment
+    manifest and is load-bearing, since the parent merge lifts shard-local
+    row ids through the shard id maps.
+
+    Tasks are dispatched concurrently on a small local thread pool (the
+    threads only wait on sockets — the walks run on the servers), each RPC
+    through the pooled retrying :class:`~repro.net.client.ShardClient`.
+    An endpoint that stays unreachable after the bounded retries fails the
+    search with a :class:`~repro.exceptions.ServingError` naming it; a
+    task that raises *on* a server comes back as a typed error frame and
+    is re-raised here with the original remote traceback.  No silent
+    partial results: every shard answers or the search fails.
+    """
+
+    name = "remote"
+
+    def __init__(self, endpoints, max_workers: int, *,
+                 connect_timeout: float | None = None,
+                 read_timeout: float | None = None,
+                 retries: int | None = None) -> None:
+        client_kwargs = {}
+        if connect_timeout is not None:
+            client_kwargs["connect_timeout"] = connect_timeout
+        if read_timeout is not None:
+            client_kwargs["read_timeout"] = read_timeout
+        if retries is not None:
+            client_kwargs["retries"] = retries
+        self._endpoints = EndpointPool(endpoints, **client_kwargs)
+        self._max_workers = max(1, int(max_workers))
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _search(self, task: ShardSearchTask) -> ShardSearchResult:
+        return self._endpoints.client(task.shard).search(task)
+
+    def run(self, tasks: list) -> list:
+        """Serve every task remotely; results come back in task order."""
+        if self._max_workers == 1 or len(tasks) <= 1:
+            return [self._search(task) for task in tasks]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+        # map() yields in submission order and re-raises a failing task's
+        # exception on iteration — same contract as the local executors.
+        return list(self._pool.map(self._search, tasks))
+
+    def check_health(self) -> dict:
+        """Ping every endpoint, evicting dead pooled connections.
+
+        Returns ``{endpoint: latency_seconds | None}`` (``None`` = the
+        endpoint failed its health check; its pooled connections were
+        dropped so the next search reconnects from scratch).
+        """
+        return self._endpoints.check_health()
+
+    def close(self) -> None:
+        """Release the dispatch pool and every pooled connection."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        self._endpoints.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
         try:

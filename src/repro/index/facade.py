@@ -151,6 +151,12 @@ class Index:
         """
         self._searcher.close()
 
+    def __enter__(self) -> "Index":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return (f"Index(backend={self.spec.backend!r}, n={self.n_points}, "
                 f"d={self.n_features}, kappa={self.graph.n_neighbors}, "

@@ -34,7 +34,8 @@ Persistence is one directory::
 
     corpus.shards/
       manifest.npz      format version, spec JSON, global row id per shard,
-                        coarse routing centroids (gkmeans partitioner)
+                        coarse routing centroids (gkmeans partitioner),
+                        deployment endpoints + generation (format v3)
       shard_0000.idx    Index NPZ of shard 0 (rows shard_ids[0])
       shard_0001.idx    ...
 
@@ -45,6 +46,13 @@ permutation of the dataset rows all raise
 pre-routing format (version 1, no centroids) still load and serve the full
 fan-out; requesting ``shard_probe < n_shards`` on them is a clear
 ``ValidationError`` instead of silent wrong routing.
+
+Format version 3 turns the manifest into a *deployment* manifest: it
+optionally carries a per-shard ``host:port`` endpoint list (one
+``gkmeans serve`` daemon per shard) consumed by ``executor="remote"``, and
+a ``generation`` counter naming which build of the index the daemons are
+expected to serve (the ``info`` RPC reports it back).  v1/v2 directories
+still load — they simply carry no deployment metadata.
 """
 
 from __future__ import annotations
@@ -62,7 +70,8 @@ import numpy as np
 
 from ..cluster import KMeans
 from ..distance import DistanceEngine, resolve_dtype
-from ..exceptions import ValidationError
+from ..exceptions import ServingError, ValidationError
+from ..net.endpoints import parse_endpoints
 from ..validation import (
     check_data_matrix,
     check_positive_int,
@@ -71,6 +80,7 @@ from ..validation import (
 )
 from .executors import (
     ProcessShardExecutor,
+    RemoteShardExecutor,
     ShardSearchTask,
     ThreadShardExecutor,
 )
@@ -82,10 +92,12 @@ __all__ = ["ShardedIndex", "ShardedServingStats", "SHARDED_FORMAT_VERSION",
 
 #: Version of the sharded directory layout.  Version 2 added the optional
 #: ``centroids`` key (coarse routing centroids of the gkmeans partitioner);
-#: version-1 directories still load, with routing unavailable.
-SHARDED_FORMAT_VERSION = 2
+#: version 3 added the deployment metadata (optional per-shard
+#: ``endpoints`` list for ``executor="remote"`` plus a ``generation``
+#: counter).  Version-1/2 directories still load, without the newer keys.
+SHARDED_FORMAT_VERSION = 3
 
-_READABLE_FORMAT_VERSIONS = (1, 2)
+_READABLE_FORMAT_VERSIONS = (1, 2, 3)
 
 #: File name of the manifest NPZ inside a sharded index directory.
 MANIFEST_NAME = "manifest.npz"
@@ -289,6 +301,7 @@ class ShardedIndex:
 
     def __init__(self, shards: list, shard_ids: list, spec: IndexSpec, *,
                  centroids: np.ndarray | None = None,
+                 endpoints=None, generation: int = 0,
                  build_seconds: float | None = None) -> None:
         if not isinstance(spec, IndexSpec):
             raise ValidationError(
@@ -326,6 +339,7 @@ class ShardedIndex:
                           for ids in shard_ids]
         self.centroids = centroids
         self.build_seconds = build_seconds
+        self.generation = int(generation)
         self._data: np.ndarray | None = None
         self.last_per_query_evaluations: np.ndarray | None = None
         self.last_n_evaluations = 0
@@ -338,6 +352,12 @@ class ShardedIndex:
         self._executors: dict = {}
         self._source_dir: str | None = None
         self._spill_dir: str | None = None
+        self._endpoints: tuple | None = None
+        #: Transport knobs (``connect_timeout``, ``read_timeout``,
+        #: ``retries``) applied when the remote fan-out executor is built.
+        self.remote_options: dict = {}
+        if endpoints is not None:
+            self.endpoints = endpoints
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -397,19 +417,59 @@ class ShardedIndex:
     # ------------------------------------------------------------------ #
     # Serving resources
     # ------------------------------------------------------------------ #
-    def close(self) -> None:
-        """Release serving resources: fan-out pools and the spill directory.
+    @property
+    def endpoints(self) -> tuple | None:
+        """Per-shard ``host:port`` strings the remote executor fans out to,
+        in shard order, or ``None`` when no deployment is attached."""
+        return self._endpoints
 
-        Idempotent, and the index stays usable — the next search simply
-        recreates what it needs.  Call this (or rely on ``__del__``) after
-        serving with ``executor="process"`` to reap the worker processes.
+    @endpoints.setter
+    def endpoints(self, value) -> None:
+        if value is None:
+            self._endpoints = None
+            return
+        parsed = parse_endpoints(value)
+        if len(parsed) != self.n_shards:
+            raise ValidationError(
+                f"endpoint list names {len(parsed)} endpoints but the "
+                f"index has {self.n_shards} shards; exactly one endpoint "
+                "per shard, in shard order")
+        # _get_executor keys the cached remote executor by this tuple, so
+        # a redeployment (new endpoints) transparently rebuilds the pool.
+        self._endpoints = tuple(str(endpoint) for endpoint in parsed)
+
+    def close(self) -> None:
+        """Release serving resources: fan-out pools, per-shard walk pools
+        and the spill directory.
+
+        Idempotent — closing twice (or racing a ``__del__``) is a no-op the
+        second time — and safe while searches are in flight: executors are
+        drained (their ``close`` joins running tasks) *before* the shard
+        walk pools and the spill files those tasks read are torn down.
+        The index stays usable — the next search simply recreates what it
+        needs.  Call this (or use the index as a context manager) after
+        serving with ``executor="process"``/``"remote"`` to reap worker
+        processes and pooled connections.
         """
+        # 1. Fan-out executors first: their close() waits for in-flight
+        #    tasks, which may still be using the shard searchers and the
+        #    spilled NPZs released below.
         executors, self._executors = self._executors, {}
         for _, executor in executors.values():
             executor.close()
+        # 2. Then the per-shard walk pools (idempotent themselves).
+        for shard in self.shards:
+            shard.close()
+        # 3. Finally the on-disk spill, now guaranteed unreferenced.
         spill, self._spill_dir = self._spill_dir, None
         if spill is not None:
             shutil.rmtree(spill, ignore_errors=True)
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
         try:
@@ -444,21 +504,36 @@ class ShardedIndex:
 
         One executor per kind is kept alive across search calls (the whole
         point — no per-call pool construction); a call with a different
-        worker count closes and replaces it, so the common stable-count
-        serving loop always hits the cache.
+        worker count — or, for the remote executor, a different endpoint
+        list or transport options — closes and replaces it, so the common
+        stable serving loop always hits the cache.
         """
+        if name == "remote":
+            if self._endpoints is None:
+                raise ServingError(
+                    "executor='remote' needs one endpoint per shard; set "
+                    "index.endpoints (or save/load a deployment manifest "
+                    "carrying them, or pass --endpoints on the CLI) to "
+                    f"the {self.n_shards} 'host:port' shard servers")
+            key = (shard_workers, self._endpoints,
+                   tuple(sorted(self.remote_options.items())))
+        else:
+            key = shard_workers
         cached = self._executors.get(name)
         if cached is not None:
-            count, executor = cached
-            if count == shard_workers:
+            cached_key, executor = cached
+            if cached_key == key:
                 return executor
             executor.close()
         if name == "thread":
             executor = ThreadShardExecutor(self.shards, shard_workers)
+        elif name == "remote":
+            executor = RemoteShardExecutor(self._endpoints, shard_workers,
+                                           **self.remote_options)
         else:
             executor = ProcessShardExecutor(self._shard_paths(),
                                             shard_workers)
-        self._executors[name] = (shard_workers, executor)
+        self._executors[name] = (key, executor)
         return executor
 
     # ------------------------------------------------------------------ #
@@ -760,9 +835,12 @@ class ShardedIndex:
                 "spec_json": np.asarray(self.spec.to_json()),
                 "shard_ids": np.concatenate(self.shard_ids),
                 "shard_offsets": offsets.astype(np.int64),
+                "generation": np.int64(self.generation),
             }
             if self.centroids is not None:
                 manifest["centroids"] = self.centroids
+            if self._endpoints is not None:
+                manifest["endpoints"] = np.asarray(list(self._endpoints))
             with open(os.path.join(tmp_dir, MANIFEST_NAME), "wb") as stream:
                 np.savez(stream, **manifest)
             if os.path.lexists(path):
@@ -829,6 +907,12 @@ class ShardedIndex:
                 # requesting shard_probe on them fails with a clear error.
                 centroids = (archive["centroids"]
                              if "centroids" in archive.files else None)
+                # Version-3 deployment metadata; v1/v2 directories predate
+                # network serving and load with no endpoints, generation 0.
+                generation = (int(archive["generation"])
+                              if "generation" in archive.files else 0)
+                endpoints = ([str(value) for value in archive["endpoints"]]
+                             if "endpoints" in archive.files else None)
         except ValidationError:
             raise
         except (OSError, ValueError, KeyError, EOFError,
@@ -855,7 +939,8 @@ class ShardedIndex:
                     f"sharded index {path!r}: shard {shard} is missing or "
                     f"corrupt: {exc}") from exc
         try:
-            index = cls(shards, shard_ids, spec, centroids=centroids)
+            index = cls(shards, shard_ids, spec, centroids=centroids,
+                        endpoints=endpoints, generation=generation)
         except ValidationError as exc:
             raise ValidationError(
                 f"sharded index {path!r} is inconsistent: {exc}") from exc

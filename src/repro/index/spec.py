@@ -41,10 +41,13 @@ PARTITIONERS = ("round_robin", "gkmeans")
 #: (the gemms release the GIL, nothing is copied), ``"process"`` on a
 #: persistent process pool whose workers each load their shard once and
 #: serve query groups by shared-nothing message passing (escapes the
-#: interpreter lock entirely, at the cost of pickling queries/results).
-#: Like ``workers``, the executor is a pure throughput knob — results are
+#: interpreter lock entirely, at the cost of pickling queries/results),
+#: ``"remote"`` over the framed RPC transport of :mod:`repro.net` against
+#: one ``gkmeans serve`` shard daemon per shard (requires a per-shard
+#: endpoint list — from the deployment manifest or ``index.endpoints``).
+#: Like ``workers``, the executor is a pure placement knob — results are
 #: bit-for-bit identical.
-EXECUTORS = ("thread", "process")
+EXECUTORS = ("thread", "process", "remote")
 
 
 @dataclass(frozen=True)

@@ -248,6 +248,27 @@ class CoalescingServer:
     async def __aexit__(self, *exc_info) -> None:
         await self.aclose()
 
+    def close(self) -> None:
+        """Synchronous teardown for servers used outside a running loop.
+
+        Idempotent.  Marks the server closed, signals the batcher (which
+        can only still exist if its event loop is gone — a live loop's
+        users must ``await aclose()`` instead, which drains admitted
+        requests) and releases the search pool.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._batcher is not None and not self._batcher.done():
+            self._queue.put_nowait(_SHUTDOWN)
+        self._search_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "CoalescingServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # Batcher
     # ------------------------------------------------------------------ #

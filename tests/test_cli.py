@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -224,6 +225,99 @@ class TestIndexCommands:
         assert main(["search", path, "--n-queries", "30", "--k", "5",
                      "--shard-probe", "3"]) == 0
         assert fetch(capsys.readouterr().out, "shard_probe") == "3"
+
+    def test_serve_parser(self):
+        args = build_parser().parse_args(["serve", "x.shards", "--shard",
+                                          "1", "--host", "0.0.0.0",
+                                          "--port", "9100",
+                                          "--max-handlers", "4"])
+        assert args.index == "x.shards"
+        assert args.shard == 1
+        assert args.host == "0.0.0.0"
+        assert args.port == 9100
+        assert args.max_handlers == 4
+        args = build_parser().parse_args(["search", "x.shards",
+                                          "--executor", "remote",
+                                          "--endpoints", "a:1,b:2",
+                                          "--dump", "out.npz"])
+        assert args.executor == "remote"
+        assert args.endpoints == "a:1,b:2"
+        assert args.dump == "out.npz"
+
+    def test_serve_missing_index_exits_cleanly(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "nope.shards")])
+        assert code == 2
+        assert "cannot load shard" in capsys.readouterr().err
+
+    def test_remote_search_round_trip(self, tmp_path, capsys):
+        """serve two shards in-process, search --executor remote, and the
+        --dump files match the thread executor bit-for-bit."""
+        from repro.index import ShardedIndex
+        from repro.net import ShardServer
+
+        path = str(tmp_path / "remote.shards")
+        assert main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "600", "--n-features", "8",
+                     "--backend", "nndescent", "--n-neighbors", "6",
+                     "--shards", "2", "--partitioner", "gkmeans",
+                     "--seed", "1"]) == 0
+        capsys.readouterr()
+        sharded = ShardedIndex.load(path)
+        with sharded, \
+                ShardServer(sharded.shards[0], shard_id=0) as first, \
+                ShardServer(sharded.shards[1], shard_id=1) as second:
+            first.start()
+            second.start()
+            endpoints = f"{first.endpoint},{second.endpoint}"
+            remote_dump = str(tmp_path / "remote.npz")
+            thread_dump = str(tmp_path / "thread.npz")
+            assert main(["search", path, "--n-queries", "30", "--k", "5",
+                         "--executor", "remote", "--endpoints", endpoints,
+                         "--dump", remote_dump]) == 0
+            assert "remote" in capsys.readouterr().out
+            assert main(["search", path, "--n-queries", "30", "--k", "5",
+                         "--executor", "thread",
+                         "--dump", thread_dump]) == 0
+            capsys.readouterr()
+            remote = np.load(remote_dump)
+            thread = np.load(thread_dump)
+            assert np.array_equal(remote["indices"], thread["indices"])
+            assert np.array_equal(remote["distances"],
+                                  thread["distances"])
+
+    def test_remote_search_dead_endpoints_exits_cleanly(self, tmp_path,
+                                                        capsys):
+        path = str(tmp_path / "dead.shards")
+        assert main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "400", "--n-features", "8",
+                     "--backend", "bruteforce", "--n-neighbors", "6",
+                     "--shards", "2", "--seed", "1"]) == 0
+        capsys.readouterr()
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(["search", path, "--n-queries", "10", "--k", "5",
+                     "--executor", "remote",
+                     "--endpoints",
+                     f"127.0.0.1:{port},127.0.0.1:{port}"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot search index" in err and str(port) in err
+
+    def test_endpoints_on_single_file_index_exits_cleanly(self, tmp_path,
+                                                          capsys):
+        path = str(tmp_path / "mono.idx")
+        assert main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "200", "--n-features", "8",
+                     "--backend", "bruteforce", "--n-neighbors", "6",
+                     "--seed", "1"]) == 0
+        capsys.readouterr()
+        code = main(["search", path, "--n-queries", "10", "--k", "5",
+                     "--endpoints", "127.0.0.1:1024"])
+        assert code == 2
+        assert "sharded indexes only" in capsys.readouterr().err
 
     def test_shard_probe_on_round_robin_exits_cleanly(self, tmp_path,
                                                       capsys):

@@ -30,6 +30,7 @@ from repro.index import (
     Index,
     IndexSpec,
     ProcessShardExecutor,
+    RemoteShardExecutor,
     ShardedIndex,
     ShardSearchTask,
     ThreadShardExecutor,
@@ -258,10 +259,11 @@ class TestExecutorSpecSurface:
             evaluate_search(index, queries[:4], n_results=3, batch=False,
                             executor="process")
 
-    def test_executors_constant_names_both_kinds(self):
-        assert set(EXECUTORS) == {"thread", "process"}
+    def test_executors_constant_names_all_kinds(self):
+        assert set(EXECUTORS) == {"thread", "process", "remote"}
         assert ThreadShardExecutor.name == "thread"
         assert ProcessShardExecutor.name == "process"
+        assert RemoteShardExecutor.name == "remote"
 
 
 class TestServingResources:
@@ -292,6 +294,43 @@ class TestServingResources:
         assert sharded._executors == {}
         after, _ = sharded.search(queries, 5, shard_workers=2)
         assert np.array_equal(baseline, after)
+
+    def test_close_with_live_executors_drains_in_order(self, sharded,
+                                                       corpus):
+        """Closing with warm fan-out executors (whose close() joins any
+        in-flight tasks) must drain them *before* tearing down the shard
+        walk pools and the spill directory they read — and never raise."""
+        _, queries = corpus
+        sharded.search(queries, 5, shard_workers=2)          # warm thread
+        sharded.search(queries, 5, executor="process")       # warm process
+        spill = sharded._spill_dir
+        assert sharded._executors.keys() == {"thread", "process"}
+        sharded.close()
+        assert sharded._executors == {}
+        assert spill is not None and not os.path.exists(spill)
+        sharded.close()  # second close stays a no-op
+
+    def test_sharded_index_context_manager(self, corpus):
+        base, queries = corpus
+        built = ShardedIndex.build(
+            base, IndexSpec(backend="bruteforce", n_neighbors=8,
+                            n_shards=2, random_state=3))
+        with built as index:
+            assert index is built
+            index.search(queries, 5, shard_workers=2)
+            assert index._executors
+        assert built._executors == {}
+
+    def test_index_context_manager(self, corpus):
+        base, queries = corpus
+        built = Index.build(base, IndexSpec(backend="bruteforce",
+                                            n_neighbors=8, random_state=3))
+        with built as index:
+            assert index is built
+            index.search(queries, 5, workers=2)
+        # close() released the walk pool; the index stays searchable.
+        idx, _ = built.search(queries, 5, workers=2)
+        assert idx.shape == (queries.shape[0], 5)
 
     def test_unsaved_index_spills_shards_for_process_executor(self, sharded,
                                                               corpus):

@@ -513,6 +513,91 @@ class TestExecutorDeterminism:
             == self._search_bytes(sharded, queries, executor="process")
 
 
+class TestRemoteExecutorDeterminism:
+    """``executor="remote"`` extends the placement contract over TCP.
+
+    Each shard is served by a :class:`~repro.net.ShardServer` daemon on an
+    ephemeral localhost port; the server answers through exactly the same
+    ``search_shard_index`` path the local executors call, so remote results
+    must be bit-for-bit identical to thread, process and the serial inline
+    path — full fan-out, routed, single-query, repeated, and across a
+    save/load round-trip of the deployment manifest.
+    """
+
+    @pytest.fixture(scope="class")
+    def remote_setup(self, tmp_path_factory):
+        from repro.net import ShardServer
+
+        corpus = make_sift_like(400, 12, random_state=7)
+        base, queries = train_query_split(corpus, 32, random_state=7)
+        spec = IndexSpec(backend="bruteforce", n_neighbors=8, n_shards=3,
+                         partitioner="gkmeans", random_state=11)
+        sharded = ShardedIndex.build(base, spec)
+        servers = [ShardServer(sharded.shards[shard], shard_id=shard,
+                               generation=sharded.generation)
+                   for shard in range(sharded.n_shards)]
+        for server in servers:
+            server.start()
+        sharded.endpoints = [server.endpoint for server in servers]
+        path = tmp_path_factory.mktemp("remote") / "served.shards"
+        sharded.save(path)
+        yield sharded, queries, path
+        sharded.close()
+        for server in servers:
+            server.close()
+
+    @staticmethod
+    def _search_bytes(index, queries, **kwargs):
+        idx, dist = index.search(queries, 6, **kwargs)
+        evals = index.last_per_query_evaluations
+        return idx.tobytes() + dist.tobytes() + evals.tobytes()
+
+    def test_remote_bitwise_equals_every_local_executor(self, remote_setup):
+        sharded, queries, _ = remote_setup
+        serial = self._search_bytes(sharded, queries, shard_workers=1)
+        remote = self._search_bytes(sharded, queries, executor="remote",
+                                    shard_workers=2)
+        assert remote == serial
+        assert sharded.last_serving_stats.executor == "remote"
+        for executor in ("thread", "process"):
+            assert self._search_bytes(sharded, queries, executor=executor,
+                                      shard_workers=2) == remote
+
+    def test_routed_remote_bitwise_equals_thread(self, remote_setup):
+        sharded, queries, _ = remote_setup
+        for probe in (1, 2):
+            assert self._search_bytes(
+                sharded, queries, shard_probe=probe, executor="remote") \
+                == self._search_bytes(
+                    sharded, queries, shard_probe=probe, executor="thread")
+
+    def test_single_query_remote_equals_serial(self, remote_setup):
+        sharded, queries, _ = remote_setup
+        r_idx, r_dist = sharded.search(queries[0], 6, executor="remote")
+        s_idx, s_dist = sharded.search(queries[0], 6)
+        assert np.array_equal(r_idx, s_idx)
+        assert np.array_equal(r_dist, s_dist)
+
+    def test_repeated_remote_searches_byte_identical(self, remote_setup):
+        sharded, queries, _ = remote_setup
+        assert self._search_bytes(sharded, queries, executor="remote") \
+            == self._search_bytes(sharded, queries, executor="remote")
+
+    def test_save_load_keeps_deployment_and_answers(self, remote_setup):
+        sharded, queries, path = remote_setup
+        restored = ShardedIndex.load(path)
+        try:
+            # The v3 manifest carried the endpoint list across the
+            # round-trip — the restored index is remotely servable as-is.
+            assert restored.endpoints == sharded.endpoints
+            assert restored.generation == sharded.generation
+            assert self._search_bytes(restored, queries,
+                                      executor="remote") \
+                == self._search_bytes(sharded, queries, executor="thread")
+        finally:
+            restored.close()
+
+
 class TestWorkersValidation:
     def test_spec_workers_roundtrips_through_json(self):
         spec = IndexSpec(backend="bruteforce", workers=8)

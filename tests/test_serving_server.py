@@ -161,6 +161,27 @@ class TestAdmissionAndShutdown:
         assert np.array_equal(idx, direct_idx[0])
         assert record.batch_size == 1
 
+    def test_sync_context_manager_closes(self, served_index,
+                                         serving_corpus):
+        """The synchronous with-block mirrors ``async with`` for servers
+        whose requests run inside ``asyncio.run`` calls (or never start)."""
+        _, queries = serving_corpus
+        with CoalescingServer(served_index, max_batch=4,
+                              max_delay_ms=1.0) as server:
+            async def _one():
+                return await server.search(queries[0], 3)
+
+            idx, _, record = asyncio.run(_one())
+            assert record.n_results == 3
+        assert server._closed
+
+        async def _rejected():
+            return await server.search(queries[1], 3)
+
+        with pytest.raises(ServerClosedError):
+            asyncio.run(_rejected())
+        server.close()  # idempotent
+
     def test_search_error_propagates_to_every_rider(self, serving_corpus):
         base, queries = serving_corpus
 

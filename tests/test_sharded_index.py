@@ -375,14 +375,36 @@ class TestManifestBackCompat:
 
     def test_resave_upgrades_to_current_format(self, v1_directory,
                                                tmp_path):
-        """A v1 directory round-trips into the current (v2) layout."""
+        """A v1 directory round-trips into the current (v3) layout."""
         restored = ShardedIndex.load(v1_directory[1])
         upgraded_path = tmp_path / "upgraded.shards"
         restored.save(upgraded_path)
         with np.load(upgraded_path / "manifest.npz",
                      allow_pickle=False) as archive:
-            assert int(archive["sharded_format_version"]) == 2
+            assert int(archive["sharded_format_version"]) == 3
             assert "centroids" not in archive.files
+            assert int(archive["generation"]) == 0
+            assert "endpoints" not in archive.files
+
+    def test_v2_without_deployment_keys_loads(self, shard_setup, tmp_path):
+        """PR-5/6 (v2) manifests predate deployment metadata."""
+        base, queries = shard_setup
+        spec = IndexSpec(backend="bruteforce", n_neighbors=8, n_shards=3,
+                         partitioner="gkmeans", random_state=5)
+        sharded = ShardedIndex.build(base, spec)
+        path = tmp_path / "v2.shards"
+        sharded.save(path)
+        manifest = dict(np.load(path / "manifest.npz",
+                                allow_pickle=False))
+        manifest.pop("generation")
+        manifest["sharded_format_version"] = np.int64(2)
+        np.savez(path / "manifest.npz", **manifest)
+        restored = ShardedIndex.load(path)
+        assert restored.endpoints is None
+        assert restored.generation == 0
+        before = sharded.search(queries, 8)
+        after = restored.search(queries, 8)
+        assert before[0].tobytes() == after[0].tobytes()
 
     def test_unknown_future_version_rejected(self, v1_directory):
         _, path = v1_directory
