@@ -17,6 +17,9 @@ Two further serving axes ride in the same trajectory:
 * request coalescing — the asyncio front end gathering concurrent
   single-query requests into batch walks, measured end-to-end through
   ``serve_concurrently`` (event loop + admission + slicing included).
+* online mutations — qps of the serving path *after* an insert/delete
+  cycle (tombstone filtering + external-id mapping in the hot loop) and
+  after ``compact()`` restores the dense layout.
 """
 
 from __future__ import annotations
@@ -150,3 +153,48 @@ def test_coalescing_throughput(benchmark, serving_setup):
     differs = indices != reference[0]
     assert np.all(np.isclose(distances[differs], reference[1][differs],
                              rtol=1e-9, atol=1e-12))
+
+
+MUTATION_STATES = ("tombstoned", "compacted")
+
+
+@pytest.fixture(scope="module")
+def mutated_setup():
+    corpus = make_sift_like(BENCH.n_samples + 64, BENCH.n_features,
+                            random_state=BENCH.random_state)
+    base, rest = corpus[:BENCH.n_samples - 256], corpus[BENCH.n_samples:]
+    queries = corpus[BENCH.n_samples - 256:BENCH.n_samples]
+    spec = IndexSpec(backend="gkmeans", n_neighbors=BENCH.n_neighbors,
+                     pool_size=64, random_state=BENCH.random_state,
+                     params={"tau": BENCH.graph_tau,
+                             "cluster_size": BENCH.cluster_size})
+    index = Index.build(base, spec)
+    index.insert(rest)
+    rng = np.random.default_rng(BENCH.random_state)
+    doomed = rng.choice(index.ids, size=48, replace=False)
+    index.delete(doomed)
+    return index, queries, doomed
+
+
+@pytest.mark.parametrize("state", MUTATION_STATES)
+def test_mutated_serving_throughput(benchmark, mutated_setup, state):
+    """qps of a mutated index: tombstone over-fetch, then compacted."""
+    index, queries, doomed = mutated_setup
+    if state == "compacted" and index.n_tombstones:
+        index.compact()
+    indices, distances = benchmark.pedantic(
+        lambda: index.search(queries, 10),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+    queries_per_second = queries.shape[0] / benchmark.stats.stats.min
+    benchmark.extra_info["state"] = state
+    benchmark.extra_info["generation"] = index.generation
+    benchmark.extra_info["n_tombstones"] = index.n_tombstones
+    benchmark.extra_info["queries_per_second"] = round(queries_per_second, 1)
+    print(f"\nmutated[{state}]: {queries_per_second:,.0f} queries/s "
+          f"(gen {index.generation}, {index.n_tombstones} tombstones)")
+
+    # Deleted ids never surface, mutated or compacted.
+    assert not np.any(np.isin(indices, doomed))
+    assert indices.shape == (queries.shape[0], 10)
+    assert np.all(np.isfinite(distances))

@@ -19,7 +19,9 @@ Build a persistent ANN index and serve queries from it::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 
 import numpy as np
 
@@ -29,7 +31,7 @@ from .distance import METRICS
 from .experiments import render_series, render_table
 from .experiments.config import DEFAULT, LARGE, SMALL, ExperimentScale
 from .experiments.runner import available_methods, run_method
-from .exceptions import ServingError, ValidationError
+from .exceptions import ProtocolError, ServingError, ValidationError
 from .index import (
     EXECUTORS,
     PARTITIONERS,
@@ -201,8 +203,59 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-handlers", type=int, default=8,
                        help="client connections served concurrently")
 
+    insert = sub.add_parser(
+        "insert", help="insert vectors into a saved index online "
+                       "(local graph repair, no rebuild)")
+    insert.add_argument("index", help="path of an index saved by 'build'")
+    insert.add_argument("--vectors", default=None,
+                        help=".npy file of vectors to insert; when "
+                             "omitted, --n-new synthetic rows are drawn "
+                             "from --seed")
+    insert.add_argument("--n-new", type=int, default=10,
+                        help="synthetic vectors to insert when --vectors "
+                             "is omitted")
+    insert.add_argument("--seed", type=int, default=0)
+
+    delete = sub.add_parser(
+        "delete", help="tombstone ids of a saved index (excluded from "
+                       "results until 'compact' removes them)")
+    delete.add_argument("index", help="path of an index saved by 'build'")
+    delete.add_argument("--ids", required=True,
+                        help="comma-separated external ids to delete")
+
+    compact = sub.add_parser(
+        "compact", help="rebuild a saved index's tombstone-carrying "
+                        "structures over the live rows")
+    compact.add_argument("index", help="path of an index saved by 'build'")
+
+    reload_ = sub.add_parser(
+        "reload", help="tell running shard daemons to re-read their index "
+                       "from disk and serve the new generation")
+    reload_.add_argument("--endpoints", required=True,
+                         help="comma-separated host:port list of daemons "
+                              "to reload")
+
     sub.add_parser("list", help="list datasets, methods and experiments")
     return parser
+
+
+def _atomic_savez(path, **arrays) -> None:
+    """Write an NPZ atomically: temp file in the target directory, then
+    rename — a failure mid-write never leaves a partial file at ``path``.
+
+    Matches the index persistence idiom (see ``Index.save``).
+    """
+    path = os.fspath(path)
+    handle, tmp_path = tempfile.mkstemp(
+        dir=os.path.dirname(path) or ".", suffix=".npz.tmp")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            np.savez(stream, **arrays)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
 
 
 def _build_params(args) -> dict:
@@ -319,8 +372,77 @@ def _run_search(args) -> int:
             indices, distances = index.search(
                 queries, args.k, pool_size=args.pool_size,
                 workers=args.workers, **fan_out)
-            np.savez(args.dump, indices=indices, distances=distances)
+            _atomic_savez(args.dump, indices=indices, distances=distances)
             print(f"results dumped to {args.dump}")
+    return 0
+
+
+def _run_mutate(args) -> int:
+    """Shared driver of ``insert``/``delete``/``compact``: load the index,
+    apply the mutation, save it back over its own path (atomic rename —
+    running daemons keep serving the old generation until reloaded)."""
+    try:
+        index = load_index(args.index)
+    except (ValidationError, FileNotFoundError) as exc:
+        print(f"error: cannot load index {args.index!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    with index:
+        try:
+            if args.command == "insert":
+                if args.vectors is not None:
+                    vectors = np.load(args.vectors)
+                else:
+                    rng = np.random.default_rng(args.seed)
+                    vectors = rng.standard_normal(
+                        (args.n_new, index.n_features))
+                new_ids = index.insert(vectors)
+                row = {"inserted": int(new_ids.size),
+                       "ids": f"{int(new_ids.min())}..{int(new_ids.max())}"}
+            elif args.command == "delete":
+                wanted = [int(value) for value in args.ids.split(",")
+                          if value.strip()]
+                row = {"deleted": index.delete(wanted)}
+            else:
+                row = {"removed": index.compact()}
+        except (ValidationError, ServingError) as exc:
+            print(f"error: cannot {args.command} on index {args.index!r}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        index.save(args.index)
+        row.update(n_points=index.n_points,
+                   tombstones=index.n_tombstones,
+                   generation=index.generation,
+                   out=args.index)
+        print(render_table([row]))
+    return 0
+
+
+def _run_reload(args) -> int:
+    from .net import ShardClient
+
+    rows = []
+    for endpoint in args.endpoints.split(","):
+        endpoint = endpoint.strip()
+        if not endpoint:
+            continue
+        client = ShardClient(endpoint)
+        try:
+            info = client.reload()
+        except (ValidationError, ServingError, ProtocolError) as exc:
+            print(f"error: cannot reload {endpoint}: {exc}",
+                  file=sys.stderr)
+            return 2
+        finally:
+            client.close()
+        rows.append({
+            "endpoint": endpoint,
+            "shard": info.get("shard_id"),
+            "generation": info.get("generation"),
+            "n_points": info.get("n_points"),
+            "reloads": info.get("n_reloads"),
+        })
+    print(render_table(rows))
     return 0
 
 
@@ -336,6 +458,7 @@ def _run_serve(args) -> int:
         return 2
     with index, ShardServer(index, host=args.host, port=args.port,
                             shard_id=shard_id, generation=generation,
+                            source_path=args.index,
                             max_handlers=args.max_handlers) as server:
         print(f"serving shard {shard_id}/{n_shards} of {args.index} "
               f"(generation {generation}) on {server.endpoint}",
@@ -397,6 +520,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command in ("insert", "delete", "compact"):
+        return _run_mutate(args)
+
+    if args.command == "reload":
+        return _run_reload(args)
 
     if args.command == "cluster":
         data = load_dataset(args.dataset, args.n_samples, args.n_features,

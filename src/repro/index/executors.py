@@ -40,6 +40,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import get_context
+from threading import Lock
 
 import numpy as np
 
@@ -174,6 +175,15 @@ class RemoteShardExecutor:
     task that raises *on* a server comes back as a typed error frame and
     is re-raised here with the original remote traceback.  No silent
     partial results: every shard answers or the search fails.
+
+    Before its first task, every endpoint is validated with an ``info``
+    handshake: a daemon answering for the wrong ``shard_id`` — a swapped
+    endpoint list would otherwise *silently* return wrong-shard results —
+    or (when ``expected_generations`` is given) a daemon still serving a
+    stale generation of its shard raises a
+    :class:`~repro.exceptions.ServingError` naming the mismatch.  The
+    check runs once per endpoint per executor lifetime; a reload-then-new-
+    executor cycle re-validates.
     """
 
     name = "remote"
@@ -181,7 +191,8 @@ class RemoteShardExecutor:
     def __init__(self, endpoints, max_workers: int, *,
                  connect_timeout: float | None = None,
                  read_timeout: float | None = None,
-                 retries: int | None = None) -> None:
+                 retries: int | None = None,
+                 expected_generations=None) -> None:
         client_kwargs = {}
         if connect_timeout is not None:
             client_kwargs["connect_timeout"] = connect_timeout
@@ -192,8 +203,40 @@ class RemoteShardExecutor:
         self._endpoints = EndpointPool(endpoints, **client_kwargs)
         self._max_workers = max(1, int(max_workers))
         self._pool: ThreadPoolExecutor | None = None
+        self._expected_generations = (
+            None if expected_generations is None
+            else tuple(int(value) for value in expected_generations))
+        self._validated: set[int] = set()
+        self._validate_lock = Lock()
+
+    def _handshake(self, shard: int) -> None:
+        """Validate the daemon behind ``shard``'s endpoint, once."""
+        with self._validate_lock:
+            if shard in self._validated:
+                return
+            client = self._endpoints.client(shard)
+            info = client.info()
+            served = info.get("shard_id")
+            if served != shard:
+                raise ServingError(
+                    f"endpoint {client.endpoint} serves shard {served}, "
+                    f"but the deployment manifest maps it to shard "
+                    f"{shard} — the endpoint list is misordered or points "
+                    "at the wrong daemons")
+            if self._expected_generations is not None:
+                expected = self._expected_generations[shard]
+                generation = info.get("generation")
+                if generation != expected:
+                    raise ServingError(
+                        f"endpoint {client.endpoint} serves generation "
+                        f"{generation} of shard {shard}, but the index "
+                        f"expects generation {expected} — the daemon is "
+                        "stale (tell it to reload) or loaded a different "
+                        "build of the index")
+            self._validated.add(shard)
 
     def _search(self, task: ShardSearchTask) -> ShardSearchResult:
+        self._handshake(task.shard)
         return self._endpoints.client(task.shard).search(task)
 
     def run(self, tasks: list) -> list:

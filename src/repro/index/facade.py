@@ -9,6 +9,17 @@ gemm per round across all live queries), and ``index.save`` /
 ``Index.load`` round-trip the whole serving state — spec, graph, data and
 cached norms — through a single NPZ file, so a loaded index answers queries
 bit-for-bit identically with zero rebuild.
+
+The index is *online*: ``index.insert`` adds vectors with NN-Descent-style
+local graph repair (no rebuild), ``index.delete`` tombstones external ids —
+tombstoned points stay in the graph as routing waypoints but are excluded
+from every result — and ``index.compact`` rebuilds the structure over the
+live rows once tombstones accumulate.  Every mutation bumps the index's
+``generation`` counter, the staleness signal serving daemons are checked
+against.  Results are reported in stable external ids (``ids``): freshly
+built indexes use ids equal to row positions, inserts either continue that
+sequence or take caller-provided ids, and compaction keeps ids stable while
+physical rows move.
 """
 
 from __future__ import annotations
@@ -34,8 +45,13 @@ from .spec import BUILDERS, IndexSpec
 
 __all__ = ["Index", "FORMAT_VERSION"]
 
-#: Version of the NPZ persistence layout.
-FORMAT_VERSION = 1
+#: Version of the NPZ persistence layout.  Version 2 added the online
+#: mutation state (external ``ids``, ``tombstones``, the ``next_id``
+#: counter and the ``generation`` counter); version-1 files still load as
+#: unmutated indexes.
+FORMAT_VERSION = 2
+
+_READABLE_FORMAT_VERSIONS = (1, 2)
 
 _REQUIRED_KEYS = ("format_version", "spec_json", "data", "graph_indices",
                   "graph_metric")
@@ -74,6 +90,9 @@ class Index:
 
     def __init__(self, data: np.ndarray, graph: KNNGraph, spec: IndexSpec, *,
                  norms: np.ndarray | None = None,
+                 ids: np.ndarray | None = None,
+                 tombstones: np.ndarray | None = None,
+                 next_id: int | None = None, generation: int = 0,
                  build_seconds: float | None = None) -> None:
         if not isinstance(spec, IndexSpec):
             raise ValidationError(
@@ -82,7 +101,7 @@ class Index:
         # All validation (data matrix, graph/data row counts, graph-vs-spec
         # metric, restored-norms shape) and state (engine, cached norms,
         # symmetrised adjacency) lives in the composed searcher; the facade
-        # adds spec handling, determinism and persistence on top.
+        # adds spec handling, determinism, mutations and persistence on top.
         self._searcher = GraphSearcher(
             data, graph, pool_size=spec.pool_size, n_starts=spec.n_starts,
             seed_sample=spec.seed_sample, symmetrize=spec.symmetrize,
@@ -90,6 +109,40 @@ class Index:
             dtype=spec.dtype, data_norms=norms)
         self.graph = graph
         self.build_seconds = build_seconds
+        n = self._searcher.data.shape[0]
+        if ids is None:
+            ids = np.arange(n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (n,):
+                raise ValidationError(
+                    f"ids must be a ({n},) array, got shape {ids.shape}")
+            if ids.size and ids.min() < 0:
+                raise ValidationError("ids must be non-negative")
+            if np.unique(ids).size != ids.size:
+                raise ValidationError("ids must be unique")
+        if tombstones is None:
+            tombstones = np.zeros(n, dtype=bool)
+        else:
+            tombstones = np.asarray(tombstones, dtype=bool)
+            if tombstones.shape != (n,):
+                raise ValidationError(
+                    f"tombstones must be a ({n},) array, got shape "
+                    f"{tombstones.shape}")
+            if tombstones.all():
+                raise ValidationError(
+                    "an index cannot consist of tombstones only")
+        self._ids = ids
+        self._tombstones = tombstones
+        floor = int(ids.max()) + 1 if ids.size else 0
+        self._next_id = floor if next_id is None else max(int(next_id),
+                                                          floor)
+        #: Mutation counter: bumped by every insert/delete/compact.  The
+        #: serving daemons' ``info`` RPC reports the generation they
+        #: loaded, and the remote executor's handshake compares it against
+        #: this value — a stale daemon is surfaced, never silently served.
+        self.generation = int(generation)
+        self._id_lookup: dict | None = None
 
     @property
     def last_n_evaluations(self) -> int:
@@ -126,8 +179,44 @@ class Index:
     # ------------------------------------------------------------------ #
     @property
     def n_points(self) -> int:
-        """Number of indexed vectors."""
+        """Number of *live* (non-tombstoned) indexed vectors."""
+        return int(self.data.shape[0]) - self.n_tombstones
+
+    @property
+    def n_rows(self) -> int:
+        """Number of physical rows, tombstoned ones included."""
         return int(self.data.shape[0])
+
+    @property
+    def ids(self) -> np.ndarray:
+        """``(n_rows,)`` external id of every physical row."""
+        return self._ids
+
+    @property
+    def n_tombstones(self) -> int:
+        """Number of tombstoned (deleted, not yet compacted) rows."""
+        return int(self._tombstones.sum())
+
+    @property
+    def live_mask(self) -> np.ndarray:
+        """``(n_rows,)`` boolean mask of the live (non-tombstoned) rows."""
+        return ~self._tombstones
+
+    @property
+    def tombstone_ids(self) -> np.ndarray:
+        """External ids of the tombstoned rows (ascending)."""
+        return np.sort(self._ids[self._tombstones])
+
+    @property
+    def evaluation_corpus(self) -> tuple:
+        """``(live vectors, their external ids)`` — the ground-truth
+        corpus an exact oracle must score searches against.  Searches
+        return external ids and never tombstoned rows, so scoring against
+        raw physical positions is wrong the moment the index mutates."""
+        if not self._tombstones.any():
+            return self.data, self._ids
+        live = ~self._tombstones
+        return self.data[live], self._ids[live]
 
     @property
     def n_features(self) -> int:
@@ -252,16 +341,199 @@ class Index:
                 f"executor={executor!r}: a monolithic Index serves "
                 "in-process only; out-of-process serving is the sharded "
                 "layer's fan-out knob (build with n_shards > 1)")
+        n_results = check_positive_int(n_results, name="n_results",
+                                       maximum=self.n_points)
         rng = check_random_state(self.spec.random_state
                                  if random_state is None else random_state)
+        # Tombstoned rows stay in the graph as routing waypoints but never
+        # in results: the walk over-fetches by the tombstone count (never
+        # beyond the physical rows — n_results <= n_points guarantees the
+        # widened request still fits), then the tombstoned hits are
+        # filtered out.
+        n_tombstones = self.n_tombstones
+        fetch = n_results + n_tombstones
         if np.asarray(queries).ndim == 1:
-            return self._searcher.query(queries, n_results,
-                                        pool_size=pool_size, rng=rng)
-        return self._searcher.batch_query(
-            queries, n_results, pool_size=pool_size,
+            idx, dist = self._searcher.query(queries, fetch,
+                                             pool_size=pool_size, rng=rng)
+            if n_tombstones:
+                keep = ~self._tombstones[idx]
+                idx, dist = idx[keep][:n_results], dist[keep][:n_results]
+            return self._external(idx), dist
+        idx, dist = self._searcher.batch_query(
+            queries, fetch, pool_size=pool_size,
             strategy="frontier" if strategy is None else strategy,
             workers=self.spec.workers if workers is None else workers,
             rng=rng)
+        if n_tombstones:
+            idx, dist = self._drop_tombstoned(idx, dist, n_results)
+        return self._external(idx), dist
+
+    def _drop_tombstoned(self, idx: np.ndarray, dist: np.ndarray,
+                         n_results: int) -> tuple[np.ndarray, np.ndarray]:
+        """Filter tombstoned positions out of over-fetched batch results.
+
+        Kept entries slide left preserving their distance order; rows with
+        fewer than ``n_results`` live hits are padded with ``(-1, inf)``
+        exactly like an unreachable-point row.
+        """
+        keep = idx >= 0
+        keep &= ~self._tombstones[np.where(keep, idx, 0)]
+        order = np.argsort(~keep, axis=1, kind="stable")[:, :n_results]
+        kept = np.take_along_axis(keep, order, axis=1)
+        idx = np.take_along_axis(idx, order, axis=1)
+        dist = np.take_along_axis(dist, order, axis=1)
+        idx[~kept] = -1
+        dist[~kept] = np.inf
+        return idx, dist
+
+    def _external(self, idx: np.ndarray) -> np.ndarray:
+        """Map physical row positions to external ids (``-1`` padding
+        passes through)."""
+        reached = idx >= 0
+        return np.where(reached, self._ids[np.where(reached, idx, 0)], -1)
+
+    # ------------------------------------------------------------------ #
+    # Online mutations
+    # ------------------------------------------------------------------ #
+    def _lookup(self) -> dict:
+        """Lazy external-id -> physical-position map."""
+        if self._id_lookup is None:
+            self._id_lookup = {int(value): position
+                               for position, value in enumerate(self._ids)}
+        return self._id_lookup
+
+    def _resolve_live_positions(self, wanted: np.ndarray) -> np.ndarray:
+        """Physical positions of external ids that must exist and be live.
+
+        Raises :class:`~repro.exceptions.ValidationError` (without mutating
+        anything) on an unknown, duplicate or already-deleted id — shared
+        by :meth:`delete` and the sharded layer's pre-flight validation.
+        """
+        wanted = np.atleast_1d(np.asarray(wanted, dtype=np.int64)).ravel()
+        if np.unique(wanted).size != wanted.size:
+            raise ValidationError("duplicate ids in delete request")
+        lookup = self._lookup()
+        positions = np.empty(wanted.size, dtype=np.int64)
+        for slot, value in enumerate(wanted.tolist()):
+            position = lookup.get(value)
+            if position is None:
+                raise ValidationError(f"id {value} is not in the index")
+            if self._tombstones[position]:
+                raise ValidationError(f"id {value} is already deleted")
+            positions[slot] = position
+        return positions
+
+    def insert(self, vectors: np.ndarray,
+               ids: np.ndarray | None = None) -> np.ndarray:
+        """Insert vectors online, repairing the graph locally (no rebuild).
+
+        ``vectors`` is one ``(d,)`` vector or an ``(m, d)`` batch; ``ids``
+        optionally assigns the external ids of the new points (unique,
+        non-negative, disjoint from every existing id — tombstoned ones
+        included), defaulting to the next unused integers.  Each new point
+        is wired in NN-Descent style: candidates seeded by a frontier
+        search, refined by a local join, back-edges pushed into the chosen
+        neighbours (see :mod:`repro.graph.repair`).  Bumps
+        :attr:`generation` and returns the ``(m,)`` ids of the new points.
+        """
+        vectors = np.asarray(vectors)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        vectors = check_data_matrix(vectors, name="vectors",
+                                    dtype=self.engine_.dtype)
+        if vectors.shape[1] != self.n_features:
+            raise ValidationError(
+                f"inserted vectors have dimension {vectors.shape[1]}, the "
+                f"index holds {self.n_features}-dimensional data")
+        m = vectors.shape[0]
+        if ids is None:
+            new_ids = np.arange(self._next_id, self._next_id + m,
+                                dtype=np.int64)
+        else:
+            new_ids = np.asarray(ids, dtype=np.int64).ravel()
+            if new_ids.size != m:
+                raise ValidationError(
+                    f"{m} vectors but {new_ids.size} ids")
+            if new_ids.size and new_ids.min() < 0:
+                raise ValidationError("ids must be non-negative")
+            if np.unique(new_ids).size != new_ids.size:
+                raise ValidationError("ids must be unique")
+            lookup = self._lookup()
+            taken = [value for value in new_ids.tolist() if value in lookup]
+            if taken:
+                raise ValidationError(
+                    f"ids {taken} are already in the index (tombstoned "
+                    "ids stay reserved until compaction)")
+        rng = check_random_state(self.spec.random_state)
+        self._searcher.insert_points(vectors, rng=rng)
+        self.graph = self._searcher.graph
+        if self._id_lookup is not None:
+            base = self._ids.size
+            for offset, value in enumerate(new_ids.tolist()):
+                self._id_lookup[value] = base + offset
+        self._ids = np.concatenate([self._ids, new_ids])
+        self._tombstones = np.concatenate(
+            [self._tombstones, np.zeros(m, dtype=bool)])
+        self._next_id = max(self._next_id, int(new_ids.max()) + 1)
+        self.generation += 1
+        return new_ids.copy()
+
+    def delete(self, ids) -> int:
+        """Tombstone external ids: excluded from every result, physically
+        removed by :meth:`compact`.
+
+        The whole request is validated before anything mutates — an
+        unknown, duplicate or already-deleted id fails the call atomically.
+        At least 2 live points must remain (an index over fewer rows
+        cannot serve).  Bumps :attr:`generation`; returns the number of
+        points deleted.
+        """
+        wanted = np.atleast_1d(np.asarray(ids, dtype=np.int64)).ravel()
+        if wanted.size == 0:
+            return 0
+        positions = self._resolve_live_positions(wanted)
+        if self.n_points - positions.size < 2:
+            raise ValidationError(
+                f"deleting {positions.size} of {self.n_points} live "
+                "points would leave fewer than 2 — an index needs at "
+                "least 2 live points to serve")
+        self._tombstones[positions] = True
+        self.generation += 1
+        return int(positions.size)
+
+    def compact(self) -> int:
+        """Physically remove tombstoned rows by rebuilding over live data.
+
+        External ids are stable across compaction — live points keep their
+        ids while physical rows close ranks.  A no-op (returning 0, no
+        generation bump) when nothing is tombstoned.  Returns the number
+        of rows removed.
+        """
+        removed = self.n_tombstones
+        if removed == 0:
+            return 0
+        live = self.live_mask
+        data = np.ascontiguousarray(self.data[live])
+        build_spec = self.spec
+        if build_spec.n_neighbors > data.shape[0] - 1:
+            build_spec = build_spec.replace(n_neighbors=data.shape[0] - 1)
+        graph = BUILDERS[self.spec.backend].build(data, build_spec)
+        norms = self._data_norms
+        searcher = GraphSearcher(
+            data, graph, pool_size=self.spec.pool_size,
+            n_starts=self.spec.n_starts, seed_sample=self.spec.seed_sample,
+            symmetrize=self.spec.symmetrize,
+            random_state=self.spec.random_state, metric=self.spec.metric,
+            dtype=self.spec.dtype,
+            data_norms=None if norms is None else norms[live])
+        self._searcher.close()
+        self._searcher = searcher
+        self.graph = graph
+        self._ids = self._ids[live].copy()
+        self._tombstones = np.zeros(data.shape[0], dtype=bool)
+        self._id_lookup = None
+        self.generation += 1
+        return removed
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -280,6 +552,10 @@ class Index:
             "data": self.data,
             "graph_indices": self.graph.indices,
             "graph_metric": np.asarray(self.graph.metric),
+            "ids": self._ids,
+            "tombstones": self._tombstones,
+            "next_id": np.int64(self._next_id),
+            "generation": np.int64(self.generation),
         }
         if self.graph.distances is not None:
             payload["graph_distances"] = self.graph.distances
@@ -313,10 +589,11 @@ class Index:
                     raise ValidationError(
                         f"index file {path!r} is missing keys {missing}")
                 version = int(archive["format_version"])
-                if version != FORMAT_VERSION:
+                if version not in _READABLE_FORMAT_VERSIONS:
                     raise ValidationError(
                         f"index file {path!r} has format version {version}, "
-                        f"this build reads version {FORMAT_VERSION}")
+                        f"this build reads versions "
+                        f"{_READABLE_FORMAT_VERSIONS}")
                 spec = IndexSpec.from_json(str(archive["spec_json"]))
                 data = archive["data"]
                 graph_indices = archive["graph_indices"]
@@ -326,6 +603,15 @@ class Index:
                                    else None)
                 norms = (archive["norms"] if "norms" in archive.files
                          else None)
+                # Version-1 files predate online mutations: they load as
+                # unmutated indexes (positional ids, no tombstones, gen 0).
+                ids = archive["ids"] if "ids" in archive.files else None
+                tombstones = (archive["tombstones"]
+                              if "tombstones" in archive.files else None)
+                next_id = (int(archive["next_id"])
+                           if "next_id" in archive.files else None)
+                generation = (int(archive["generation"])
+                              if "generation" in archive.files else 0)
         except ValidationError:
             raise
         except (OSError, ValueError, KeyError, EOFError,
@@ -335,7 +621,9 @@ class Index:
         try:
             graph = KNNGraph(graph_indices, graph_distances,
                              metric=graph_metric)
-            return cls(data, graph, spec, norms=norms)
+            return cls(data, graph, spec, norms=norms, ids=ids,
+                       tombstones=tombstones, next_id=next_id,
+                       generation=generation)
         except (GraphError, ValidationError) as exc:
             raise ValidationError(
                 f"index file {path!r} is inconsistent: {exc}") from exc

@@ -53,6 +53,22 @@ optionally carries a per-shard ``host:port`` endpoint list (one
 a ``generation`` counter naming which build of the index the daemons are
 expected to serve (the ``info`` RPC reports it back).  v1/v2 directories
 still load — they simply carry no deployment metadata.
+
+Format version 4 makes the index *online*: :meth:`ShardedIndex.insert`
+routes new vectors to the nearest coarse centroid's shard and repairs that
+shard's graph locally, :meth:`ShardedIndex.delete` tombstones global ids,
+and :meth:`ShardedIndex.compact` rebuilds tombstone-heavy shards.  The
+manifest gains per-shard ``shard_generations`` (each shard's own mutation
+counter — the value the shard's daemon must report in the ``info``
+handshake) and the ``next_id`` counter keeping global ids unique for the
+index's lifetime.  Mutations go live on disk through the same
+atomic-rename ``save``: running daemons keep serving the *old* generation
+from their already-loaded state (copy-on-write at the directory level)
+until the ``reload`` RPC tells them to pick up the new one — the remote
+executor's generation handshake turns a stale daemon into a
+:class:`~repro.exceptions.ServingError` instead of silent wrong results.
+v1–v3 directories still load; their shards adopt the manifest's global
+generation.
 """
 
 from __future__ import annotations
@@ -94,10 +110,12 @@ __all__ = ["ShardedIndex", "ShardedServingStats", "SHARDED_FORMAT_VERSION",
 #: ``centroids`` key (coarse routing centroids of the gkmeans partitioner);
 #: version 3 added the deployment metadata (optional per-shard
 #: ``endpoints`` list for ``executor="remote"`` plus a ``generation``
-#: counter).  Version-1/2 directories still load, without the newer keys.
-SHARDED_FORMAT_VERSION = 3
+#: counter); version 4 added the online-mutation state (per-shard
+#: ``shard_generations`` and the global ``next_id`` counter).  Older
+#: directories still load, without the newer keys.
+SHARDED_FORMAT_VERSION = 4
 
-_READABLE_FORMAT_VERSIONS = (1, 2, 3)
+_READABLE_FORMAT_VERSIONS = (1, 2, 3, 4)
 
 #: File name of the manifest NPZ inside a sharded index directory.
 MANIFEST_NAME = "manifest.npz"
@@ -302,6 +320,7 @@ class ShardedIndex:
     def __init__(self, shards: list, shard_ids: list, spec: IndexSpec, *,
                  centroids: np.ndarray | None = None,
                  endpoints=None, generation: int = 0,
+                 next_id: int | None = None,
                  build_seconds: float | None = None) -> None:
         if not isinstance(spec, IndexSpec):
             raise ValidationError(
@@ -313,20 +332,23 @@ class ShardedIndex:
         if len(shard_ids) != len(shards):
             raise ValidationError(
                 f"{len(shards)} shards but {len(shard_ids)} id groups")
-        total = 0
         for shard, (index, ids) in enumerate(zip(shards, shard_ids)):
             ids = np.asarray(ids, dtype=np.int64)
-            if ids.ndim != 1 or ids.size != index.n_points:
+            if ids.ndim != 1 or ids.size != index.n_rows:
                 raise ValidationError(
-                    f"shard {shard} indexes {index.n_points} points but its "
+                    f"shard {shard} holds {index.n_rows} rows but its "
                     f"id map has shape {ids.shape}")
-            total += ids.size
         merged = np.concatenate([np.asarray(ids, dtype=np.int64)
                                  for ids in shard_ids])
-        if not np.array_equal(np.sort(merged), np.arange(total)):
+        # Freshly built indexes use ids 0..n-1; mutated indexes may carry
+        # holes (deleted-then-compacted ids are never reused), so the id
+        # maps only have to be globally unique and non-negative.
+        if merged.size and merged.min() < 0:
+            raise ValidationError("shard id maps must be non-negative")
+        if np.unique(merged).size != merged.size:
             raise ValidationError(
-                "shard id maps must form a permutation of the dataset rows "
-                f"0..{total - 1}")
+                "shard id maps must be globally unique — a row id appears "
+                "in more than one shard")
         if centroids is not None:
             centroids = np.asarray(centroids)
             if centroids.shape != (len(shards), shards[0].n_features):
@@ -339,7 +361,14 @@ class ShardedIndex:
                           for ids in shard_ids]
         self.centroids = centroids
         self.build_seconds = build_seconds
+        #: Global mutation counter of the whole sharded index — bumped by
+        #: every insert/delete/compact.  The per-shard counters daemons are
+        #: checked against are :attr:`shard_generations`.
         self.generation = int(generation)
+        floor = int(merged.max()) + 1 if merged.size else 0
+        self._next_id = floor if next_id is None else max(int(next_id),
+                                                          floor)
+        self._global_lookup: dict | None = None
         self._data: np.ndarray | None = None
         self.last_per_query_evaluations: np.ndarray | None = None
         self.last_n_evaluations = 0
@@ -369,8 +398,49 @@ class ShardedIndex:
 
     @property
     def n_points(self) -> int:
-        """Total number of indexed vectors across shards."""
+        """Total number of *live* (non-tombstoned) vectors across shards."""
         return sum(index.n_points for index in self.shards)
+
+    @property
+    def n_rows(self) -> int:
+        """Total physical rows across shards, tombstoned ones included."""
+        return sum(index.n_rows for index in self.shards)
+
+    @property
+    def n_tombstones(self) -> int:
+        """Total tombstoned (deleted, not yet compacted) rows."""
+        return sum(index.n_tombstones for index in self.shards)
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Global external ids of every physical row (ascending)."""
+        return np.sort(np.concatenate(self.shard_ids))
+
+    @property
+    def tombstone_ids(self) -> np.ndarray:
+        """Global external ids of the tombstoned rows (ascending)."""
+        parts = [ids[index._tombstones]
+                 for ids, index in zip(self.shard_ids, self.shards)]
+        return np.sort(np.concatenate(parts))
+
+    @property
+    def evaluation_corpus(self) -> tuple:
+        """``(live vectors, their global ids)`` in ascending-id order —
+        the ground-truth corpus an exact oracle must score searches
+        against (searches return global ids, never tombstoned rows)."""
+        vectors = np.vstack([index.data[index.live_mask]
+                             for index in self.shards])
+        ids = np.concatenate([ids_[index.live_mask]
+                              for ids_, index in zip(self.shard_ids,
+                                                     self.shards)])
+        order = np.argsort(ids, kind="stable")
+        return np.ascontiguousarray(vectors[order]), ids[order]
+
+    @property
+    def shard_generations(self) -> tuple:
+        """Per-shard mutation counters, in shard order — what each shard's
+        serving daemon must report in the ``info`` handshake."""
+        return tuple(index.generation for index in self.shards)
 
     @property
     def n_features(self) -> int:
@@ -389,14 +459,17 @@ class ShardedIndex:
 
     @property
     def data(self) -> np.ndarray:
-        """``(n, d)`` indexed vectors, reassembled in original row order."""
+        """``(n_rows, d)`` indexed vectors, in ascending global-id order.
+
+        For an unmutated index the global ids are ``0..n-1``, so this is
+        the original row order; mutated indexes may carry id holes, and the
+        rows come back rank-ordered by id (tombstoned rows included).
+        """
         if self._data is None:
-            first = self.shards[0].data
-            data = np.empty((self.n_points, self.n_features),
-                            dtype=first.dtype)
-            for ids, index in zip(self.shard_ids, self.shards):
-                data[ids] = index.data
-            self._data = data
+            stacked = np.vstack([index.data for index in self.shards])
+            merged = np.concatenate(self.shard_ids)
+            self._data = np.ascontiguousarray(
+                stacked[np.argsort(merged, kind="stable")])
         return self._data
 
     @property
@@ -515,7 +588,10 @@ class ShardedIndex:
                     "index.endpoints (or save/load a deployment manifest "
                     "carrying them, or pass --endpoints on the CLI) to "
                     f"the {self.n_shards} 'host:port' shard servers")
-            key = (shard_workers, self._endpoints,
+            # Keyed by the per-shard generations too: a mutation bumps
+            # them, forcing a fresh executor whose handshake re-validates
+            # every daemon against the new expectations.
+            key = (shard_workers, self._endpoints, self.shard_generations,
                    tuple(sorted(self.remote_options.items())))
         else:
             key = shard_workers
@@ -528,8 +604,10 @@ class ShardedIndex:
         if name == "thread":
             executor = ThreadShardExecutor(self.shards, shard_workers)
         elif name == "remote":
-            executor = RemoteShardExecutor(self._endpoints, shard_workers,
-                                           **self.remote_options)
+            executor = RemoteShardExecutor(
+                self._endpoints, shard_workers,
+                expected_generations=self.shard_generations,
+                **self.remote_options)
         else:
             executor = ProcessShardExecutor(self._shard_paths(),
                                             shard_workers)
@@ -814,6 +892,171 @@ class ShardedIndex:
         return out_idx, out_dist
 
     # ------------------------------------------------------------------ #
+    # Online mutations
+    # ------------------------------------------------------------------ #
+    def _invalidate_serving_state(self) -> None:
+        """Drop every cache a mutation makes stale.
+
+        Fan-out executors are closed (process workers hold pre-mutation
+        shard NPZs; the remote executor's handshake expectations changed),
+        the spill directory and the source-directory pointer are dropped so
+        the next process fan-out re-spills the mutated state, and the
+        reassembled-data / id-lookup caches reset.  The next search simply
+        recreates what it needs.
+        """
+        executors, self._executors = self._executors, {}
+        for _, executor in executors.values():
+            executor.close()
+        spill, self._spill_dir = self._spill_dir, None
+        if spill is not None:
+            shutil.rmtree(spill, ignore_errors=True)
+        self._source_dir = None
+        self._data = None
+        self._global_lookup = None
+
+    def _lookup_global(self) -> dict:
+        """Lazy global-id -> ``(shard, local position)`` map."""
+        if self._global_lookup is None:
+            lookup = {}
+            for shard, ids in enumerate(self.shard_ids):
+                for local, value in enumerate(ids.tolist()):
+                    lookup[value] = (shard, local)
+            self._global_lookup = lookup
+        return self._global_lookup
+
+    def insert(self, vectors: np.ndarray,
+               ids: np.ndarray | None = None) -> np.ndarray:
+        """Insert vectors online with routing-aware shard placement.
+
+        Each new vector goes to its *nearest coarse centroid's* shard (one
+        gemm against the persisted routing centroids — the same assignment
+        rule routed search replays), so the gkmeans partition stays locally
+        dense under inserts; round-robin indexes deal new ids out by
+        ``id % n_shards``.  Inside the chosen shard the graph is repaired
+        locally (see :meth:`Index.insert
+        <repro.index.facade.Index.insert>`), bumping that shard's
+        generation — other shards' daemons stay valid.  ``ids`` optionally
+        assigns the global external ids (unique, non-negative, disjoint
+        from every existing id).  Returns the ``(m,)`` new global ids.
+        """
+        vectors = np.asarray(vectors)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        vectors = check_data_matrix(vectors, name="vectors",
+                                    dtype=self.engine_.dtype)
+        if vectors.shape[1] != self.n_features:
+            raise ValidationError(
+                f"inserted vectors have dimension {vectors.shape[1]}, the "
+                f"index holds {self.n_features}-dimensional data")
+        m = vectors.shape[0]
+        if ids is None:
+            new_ids = np.arange(self._next_id, self._next_id + m,
+                                dtype=np.int64)
+        else:
+            new_ids = np.asarray(ids, dtype=np.int64).ravel()
+            if new_ids.size != m:
+                raise ValidationError(f"{m} vectors but {new_ids.size} ids")
+            if new_ids.size and new_ids.min() < 0:
+                raise ValidationError("ids must be non-negative")
+            if np.unique(new_ids).size != new_ids.size:
+                raise ValidationError("ids must be unique")
+            lookup = self._lookup_global()
+            taken = [value for value in new_ids.tolist() if value in lookup]
+            if taken:
+                raise ValidationError(
+                    f"ids {taken} are already in the index (tombstoned "
+                    "ids stay reserved until compaction)")
+        if self.n_shards == 1:
+            placement = np.zeros(m, dtype=np.int64)
+        elif self.centroids is not None:
+            placement = self._route(vectors, 1)[:, 0]
+        else:
+            placement = new_ids % self.n_shards
+        for shard in range(self.n_shards):
+            rows = np.flatnonzero(placement == shard)
+            if rows.size == 0:
+                continue
+            # Default shard-local ids — they stay equal to physical
+            # positions, which the global id lift in _lift relies on.
+            self.shards[shard].insert(vectors[rows])
+            self.shard_ids[shard] = np.concatenate(
+                [self.shard_ids[shard], new_ids[rows]])
+        self._next_id = max(self._next_id, int(new_ids.max()) + 1)
+        self.generation += 1
+        self._invalidate_serving_state()
+        return new_ids.copy()
+
+    def delete(self, ids) -> int:
+        """Tombstone global ids across shards (removed by :meth:`compact`).
+
+        The whole request is validated before anything mutates — an
+        unknown, duplicate or already-deleted id, or a deletion that would
+        leave any shard with fewer than 2 live points, fails the call
+        atomically.  Only the shards that lose points bump their
+        generation.  Returns the number of points deleted.
+        """
+        wanted = np.atleast_1d(np.asarray(ids, dtype=np.int64)).ravel()
+        if wanted.size == 0:
+            return 0
+        if np.unique(wanted).size != wanted.size:
+            raise ValidationError("duplicate ids in delete request")
+        lookup = self._lookup_global()
+        per_shard: list = [[] for _ in range(self.n_shards)]
+        for value in wanted.tolist():
+            entry = lookup.get(value)
+            if entry is None:
+                raise ValidationError(f"id {value} is not in the index")
+            shard, local = entry
+            if self.shards[shard]._tombstones[local]:
+                raise ValidationError(f"id {value} is already deleted")
+            per_shard[shard].append(local)
+        for shard, locals_ in enumerate(per_shard):
+            remaining = self.shards[shard].n_points - len(locals_)
+            if locals_ and remaining < 2:
+                raise ValidationError(
+                    f"deleting {len(locals_)} of "
+                    f"{self.shards[shard].n_points} live points from shard "
+                    f"{shard} would leave fewer than 2 — compact or "
+                    "rebuild with fewer shards instead")
+        for shard, locals_ in enumerate(per_shard):
+            if locals_:
+                self.shards[shard].delete(
+                    np.asarray(locals_, dtype=np.int64))
+        self.generation += 1
+        self._invalidate_serving_state()
+        return int(wanted.size)
+
+    def compact(self) -> int:
+        """Rebuild every tombstone-carrying shard over its live rows.
+
+        Shards are rebuilt fresh (their local ids must stay equal to
+        physical positions for the global id lift) with the graph width
+        clamped to the live count; untouched shards keep their structure
+        *and* their generation, so their daemons stay valid.  Global ids
+        are stable across compaction.  A no-op returning 0 when nothing is
+        tombstoned; otherwise returns the number of rows removed.
+        """
+        removed = self.n_tombstones
+        if removed == 0:
+            return 0
+        for shard, index in enumerate(self.shards):
+            if index.n_tombstones == 0:
+                continue
+            live = index.live_mask
+            data = np.ascontiguousarray(index.data[live])
+            shard_spec = self.spec.replace(
+                n_shards=1, shard_probe=None,
+                n_neighbors=min(self.spec.n_neighbors, data.shape[0] - 1))
+            rebuilt = Index.build(data, shard_spec)
+            rebuilt.generation = index.generation + 1
+            index.close()
+            self.shards[shard] = rebuilt
+            self.shard_ids[shard] = self.shard_ids[shard][live].copy()
+        self.generation += 1
+        self._invalidate_serving_state()
+        return removed
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path) -> None:
@@ -836,6 +1079,9 @@ class ShardedIndex:
                 "shard_ids": np.concatenate(self.shard_ids),
                 "shard_offsets": offsets.astype(np.int64),
                 "generation": np.int64(self.generation),
+                "shard_generations": np.asarray(self.shard_generations,
+                                                dtype=np.int64),
+                "next_id": np.int64(self._next_id),
             }
             if self.centroids is not None:
                 manifest["centroids"] = self.centroids
@@ -913,6 +1159,15 @@ class ShardedIndex:
                               if "generation" in archive.files else 0)
                 endpoints = ([str(value) for value in archive["endpoints"]]
                              if "endpoints" in archive.files else None)
+                # Version-4 online-mutation state; pre-v4 directories load
+                # with every shard adopting the manifest's global
+                # generation (what their daemons report) and a next_id
+                # derived from the id map.
+                shard_generations = (
+                    archive["shard_generations"].astype(np.int64)
+                    if "shard_generations" in archive.files else None)
+                next_id = (int(archive["next_id"])
+                           if "next_id" in archive.files else None)
         except ValidationError:
             raise
         except (OSError, ValueError, KeyError, EOFError,
@@ -938,9 +1193,23 @@ class ShardedIndex:
                 raise ValidationError(
                     f"sharded index {path!r}: shard {shard} is missing or "
                     f"corrupt: {exc}") from exc
+        if shard_generations is not None:
+            if shard_generations.shape != (spec.n_shards,):
+                raise ValidationError(
+                    f"sharded index {path!r} is inconsistent: "
+                    f"shard_generations has shape {shard_generations.shape}"
+                    f", expected ({spec.n_shards},)")
+            for index, value in zip(shards, shard_generations):
+                index.generation = int(value)
+        else:
+            # Pre-v4 directories carried one global generation; the shard
+            # daemons report it back, so the loaded shards adopt it.
+            for index in shards:
+                index.generation = generation
         try:
             index = cls(shards, shard_ids, spec, centroids=centroids,
-                        endpoints=endpoints, generation=generation)
+                        endpoints=endpoints, generation=generation,
+                        next_id=next_id)
         except ValidationError as exc:
             raise ValidationError(
                 f"sharded index {path!r} is inconsistent: {exc}") from exc

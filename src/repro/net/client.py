@@ -30,6 +30,7 @@ reports per-endpoint status.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
@@ -43,6 +44,8 @@ from .framing import (
     FRAME_INFO_REPLY,
     FRAME_PING,
     FRAME_PONG,
+    FRAME_RELOAD,
+    FRAME_RELOAD_REPLY,
     FRAME_RESULT,
     FRAME_SEARCH,
     encode_frame,
@@ -110,6 +113,10 @@ class ShardClient:
         self._max_idle = check_positive_int(max_idle, name="max_idle")
         self._idle: list[socket.socket] = []
         self._lock = threading.Lock()
+        # Backoff jitter source.  Per-client and unseeded on purpose:
+        # determinism governs *results*, not retry timing, and shared
+        # timing is exactly the thundering-herd failure jitter prevents.
+        self._rng = random.Random()
         #: Consecutive transport-level RPC failures (reset on success);
         #: the health surface EndpointPool reports and evicts on.
         self.consecutive_failures = 0
@@ -160,13 +167,28 @@ class ShardClient:
     # ------------------------------------------------------------------ #
     # RPC core
     # ------------------------------------------------------------------ #
+    def _sleep_backoff(self, attempt: int) -> None:
+        """Jittered exponential backoff before retry ``attempt + 1``.
+
+        The jitter factor (uniform in ``[0.5, 1.5)``) decorrelates clients
+        that failed at the same instant — e.g. every fan-out worker when a
+        shard server restarts — so they do not redial in lockstep and
+        re-overload the recovering endpoint.
+        """
+        time.sleep(self._backoff * (2 ** (attempt - 1))
+                   * (0.5 + self._rng.random()))
+
     def _call(self, request: bytes, expected_kind: int):
         """One RPC with pooled-connection reuse and bounded retries.
 
         A transient failure on a *reused* socket gets one free redial —
         the server may simply have dropped an idle connection — while
         failures on fresh connections consume the retry budget with
-        exponential backoff between attempts.
+        jittered exponential backoff between attempts.  Protocol
+        violations (bad magic/version/checksum, unexpected frame kind)
+        are permanent, not transient: the peer is mis-speaking, and
+        replaying the request would burn the whole retry budget against
+        a failure retrying cannot fix — they fail fast instead.
         """
         attempts = self._retries + 1
         last_error: Exception | None = None
@@ -178,7 +200,7 @@ class ShardClient:
                 last_error = exc
                 attempt += 1
                 if attempt < attempts:
-                    time.sleep(self._backoff * (2 ** (attempt - 1)))
+                    self._sleep_backoff(attempt)
                 continue
             try:
                 sock.sendall(request)
@@ -200,7 +222,7 @@ class ShardClient:
                 self.consecutive_failures += 1
                 attempt += 1
                 if attempt < attempts:
-                    time.sleep(self._backoff * (2 ** (attempt - 1)))
+                    self._sleep_backoff(attempt)
                 continue
             if kind == FRAME_ERROR:
                 # The transport worked; the server reports a typed
@@ -241,6 +263,11 @@ class ShardClient:
         """The server's self-description: shard id, manifest generation,
         corpus shape and serving counters."""
         return self._call(encode_frame(FRAME_INFO), FRAME_INFO_REPLY)
+
+    def reload(self) -> dict:
+        """Tell the server to re-read its shard from disk and serve the
+        new generation; returns the post-reload server info."""
+        return self._call(encode_frame(FRAME_RELOAD), FRAME_RELOAD_REPLY)
 
 
 class EndpointPool:

@@ -36,7 +36,8 @@ from ..exceptions import ProtocolError
 __all__ = [
     "PROTOCOL_VERSION", "MAGIC", "HEADER", "MAX_PAYLOAD",
     "FRAME_SEARCH", "FRAME_RESULT", "FRAME_ERROR", "FRAME_PING",
-    "FRAME_PONG", "FRAME_INFO", "FRAME_INFO_REPLY", "FRAME_KINDS",
+    "FRAME_PONG", "FRAME_INFO", "FRAME_INFO_REPLY", "FRAME_RELOAD",
+    "FRAME_RELOAD_REPLY", "FRAME_KINDS",
     "encode_frame", "pack_frame", "read_frame", "read_exactly",
     "dumps", "loads",
 ]
@@ -64,9 +65,12 @@ FRAME_PING = 4        #: request: empty payload
 FRAME_PONG = 5        #: response: empty payload
 FRAME_INFO = 6        #: request: empty payload
 FRAME_INFO_REPLY = 7  #: response: pickled server-info dict
+FRAME_RELOAD = 8      #: request: empty payload — re-read the served index
+FRAME_RELOAD_REPLY = 9  #: response: pickled server-info dict (post-reload)
 
 FRAME_KINDS = (FRAME_SEARCH, FRAME_RESULT, FRAME_ERROR, FRAME_PING,
-               FRAME_PONG, FRAME_INFO, FRAME_INFO_REPLY)
+               FRAME_PONG, FRAME_INFO, FRAME_INFO_REPLY, FRAME_RELOAD,
+               FRAME_RELOAD_REPLY)
 
 
 def dumps(value) -> bytes:

@@ -39,7 +39,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..exceptions import ProtocolError, ValidationError
+from ..exceptions import ProtocolError, ServingError, ValidationError
 from ..validation import check_positive_int
 from .framing import (
     FRAME_ERROR,
@@ -47,6 +47,8 @@ from .framing import (
     FRAME_INFO_REPLY,
     FRAME_PING,
     FRAME_PONG,
+    FRAME_RELOAD,
+    FRAME_RELOAD_REPLY,
     FRAME_RESULT,
     FRAME_SEARCH,
     PROTOCOL_VERSION,
@@ -62,9 +64,11 @@ def load_shard_for_serving(path, shard: int = 0):
     """Load one shard (plus its deployment metadata) for a server.
 
     ``path`` is either a sharded index directory — ``shard`` selects which
-    member NPZ to load, and the manifest's generation counter is read — or
-    a single-file index NPZ (``shard`` must be 0, generation is 0).
-    Returns ``(index, shard_id, generation, n_shards)``.
+    member NPZ to load, and the shard's generation counter is read from
+    the manifest (the per-shard ``shard_generations`` entry of format v4,
+    falling back to the global ``generation`` of older manifests) — or a
+    single-file index NPZ (``shard`` must be 0, generation comes from the
+    file itself).  Returns ``(index, shard_id, generation, n_shards)``.
     """
     # Runtime import: repro.index pulls in the executor seam, which
     # imports the net client — a module-level import here would cycle.
@@ -85,14 +89,20 @@ def load_shard_for_serving(path, shard: int = 0):
             n_shards = int(offsets.size - 1)
             generation = (int(archive["generation"])
                           if "generation" in archive.files else 0)
+            shard_generations = (
+                archive["shard_generations"].astype(np.int64)
+                if "shard_generations" in archive.files else None)
         shard = check_positive_int(shard + 1, name="shard + 1",
                                    maximum=n_shards) - 1
+        if shard_generations is not None:
+            generation = int(shard_generations[shard])
         index = Index.load(os.path.join(path, _shard_name(shard)))
         return index, shard, generation, n_shards
     if shard != 0:
         raise ValidationError(
             f"{path!r} is a single-file index; only --shard 0 exists")
-    return Index.load(path), 0, 0, 1
+    index = Index.load(path)
+    return index, 0, index.generation, 1
 
 
 class ShardServer:
@@ -111,6 +121,14 @@ class ShardServer:
         Deployment identity reported by the ``info`` RPC: which shard of
         the directory this daemon serves, and the manifest generation it
         was loaded from.
+    source_path:
+        The on-disk index the daemon was loaded from (sharded directory or
+        single NPZ).  Enables the ``reload`` RPC: the daemon keeps
+        answering from its in-memory state while mutations are saved over
+        the path (the atomic directory rename never disturbs open state —
+        copy-on-write from the daemon's perspective), and re-reads the
+        path, adopting the new generation, when told to.  ``None``
+        disables reload with a clear error.
     max_handlers:
         Handler thread-pool size — the number of client connections served
         concurrently.  Searches themselves are serialized (see module
@@ -126,10 +144,12 @@ class ShardServer:
 
     def __init__(self, index, *, host: str = "127.0.0.1", port: int = 0,
                  shard_id: int = 0, generation: int = 0,
-                 max_handlers: int = 8) -> None:
+                 source_path=None, max_handlers: int = 8) -> None:
         self._index = index
         self.shard_id = int(shard_id)
         self.generation = int(generation)
+        self._source_path = (None if source_path is None
+                             else os.fspath(source_path))
         self._max_handlers = check_positive_int(max_handlers,
                                                 name="max_handlers")
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -150,6 +170,7 @@ class ShardServer:
         self.n_queries = 0
         self.n_pings = 0
         self.n_errors = 0
+        self.n_reloads = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -285,8 +306,31 @@ class ShardServer:
             return encode_frame(FRAME_PONG)
         if kind == FRAME_INFO:
             return encode_frame(FRAME_INFO_REPLY, self._info())
+        if kind == FRAME_RELOAD:
+            return encode_frame(FRAME_RELOAD_REPLY, self._reload())
         raise ProtocolError(
             f"frame kind {kind} is not a request the shard server answers")
+
+    def _reload(self) -> dict:
+        """Swap in the current on-disk generation of the served shard.
+
+        The new index is loaded *before* the search lock is taken, so
+        in-flight searches finish on the old generation and the swap
+        itself is a pointer exchange; the old index's walk pool is
+        released after.  Returns the post-reload :meth:`_info`.
+        """
+        if self._source_path is None:
+            raise ServingError(
+                "this server was not started from an on-disk index "
+                "(no source path) — reload has nothing to re-read")
+        index, _, generation, _ = load_shard_for_serving(
+            self._source_path, self.shard_id)
+        with self._search_lock:
+            old, self._index = self._index, index
+            self.generation = generation
+        old.close()
+        self.n_reloads += 1
+        return self._info()
 
     def _info(self) -> dict:
         """Self-description served by the ``info`` RPC."""
@@ -304,4 +348,5 @@ class ShardServer:
             "n_queries": self.n_queries,
             "n_pings": self.n_pings,
             "n_errors": self.n_errors,
+            "n_reloads": self.n_reloads,
         }

@@ -123,8 +123,19 @@ def evaluate_search(searcher, queries: np.ndarray, *, n_results: int = 10,
             "with an Index/ShardedIndex searcher")
 
     engine = getattr(searcher, "engine_", None)
-    exact_idx, _ = brute_force_neighbors(queries, searcher.data, n_results,
+    if is_index:
+        # Indexes search in external-id terms and never return tombstoned
+        # rows, so the oracle must cover exactly the live vectors and its
+        # positions must be mapped to external ids.  For an unmutated
+        # index ids == positions and this is a no-op.
+        corpus, corpus_ids = searcher.evaluation_corpus
+    else:
+        corpus, corpus_ids = searcher.data, None
+    exact_idx, _ = brute_force_neighbors(queries, corpus, n_results,
                                          engine=engine)
+    if corpus_ids is not None:
+        exact_idx = np.where(exact_idx >= 0,
+                             corpus_ids[np.maximum(exact_idx, 0)], -1)
 
     m = queries.shape[0]
     serving_stats = None

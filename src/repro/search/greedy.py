@@ -28,6 +28,11 @@ from ..validation import (
     clamp_workers,
 )
 from ..graph.knngraph import KNNGraph
+from ..graph.repair import (
+    materialize_row_distances,
+    push_back_edges,
+    refine_neighborhood,
+)
 from ._seeding import seed_entry_points, seed_heaps
 from .frontier import ServingStats, frontier_batch_search
 
@@ -312,6 +317,77 @@ class GraphSearcher:
             self._walk_pool = ThreadPoolExecutor(max_workers=workers)
             self._walk_pool_workers = workers
         return self._walk_pool
+
+    def insert_points(self, vectors: np.ndarray, *,
+                      rng: np.random.Generator | None = None) -> np.ndarray:
+        """Insert rows into the data + graph with NN-Descent-style repair.
+
+        Each new vector's candidates are seeded by a greedy frontier
+        search over the *current* graph (so a vector inserted earlier in
+        the batch is a legitimate candidate for later ones), refined by a
+        local join with the candidates' own neighbourhoods
+        (:func:`~repro.graph.repair.refine_neighborhood`), and the chosen
+        neighbours receive back-edges
+        (:func:`~repro.graph.repair.push_back_edges`).  The symmetrised
+        adjacency is maintained incrementally and stays exactly the
+        adjacency a fresh searcher would derive from the repaired graph.
+
+        The update is transactional: repair happens on copies and is
+        committed only when the whole batch succeeds, so a validation
+        failure leaves the searcher untouched.  Returns the ``(m,)`` int64
+        physical row positions of the new points.
+        """
+        engine = self.engine_
+        vectors = check_data_matrix(vectors, name="vectors",
+                                    dtype=engine.dtype)
+        if vectors.shape[1] != self.data.shape[1]:
+            raise GraphError(
+                f"inserted vectors have dimension {vectors.shape[1]}, "
+                f"data has {self.data.shape[1]}")
+        if rng is None:
+            rng = self._rng
+        n_neighbors = self.graph.n_neighbors
+        indices = self.graph.indices.copy()
+        if self.graph.distances is None:
+            indices, distances = materialize_row_distances(
+                self.data, indices, engine, self._data_norms)
+        else:
+            distances = self.graph.distances.copy()
+        data = self.data
+        norms = self._data_norms
+        # Shallow copy: repair replaces adjacency rows, never mutates them.
+        adjacency = list(self._adjacency)
+        first = data.shape[0]
+        ef = max(self.pool_size, 2 * n_neighbors)
+        for row_vec in vectors:
+            pos = data.shape[0]
+            seeds, _, _ = greedy_search(
+                data, adjacency, row_vec, min(ef, pos), pool_size=ef,
+                n_starts=self.n_starts, seed_sample=self.seed_sample,
+                rng=rng, engine=engine, data_norms=norms)
+            row_ids, row_dists = refine_neighborhood(
+                engine, data, norms, indices, row_vec, seeds, n_neighbors)
+            new_idx = np.full(n_neighbors, -1, dtype=np.int64)
+            new_idx[:row_ids.size] = row_ids
+            new_dist = np.full(n_neighbors, np.inf, dtype=np.float64)
+            new_dist[:row_dists.size] = row_dists
+            indices = np.vstack([indices, new_idx[None, :]])
+            distances = np.vstack([distances, new_dist[None, :]])
+            data = np.vstack([data, row_vec[None, :]])
+            if norms is not None:
+                norms = np.concatenate([norms,
+                                        engine.norms(row_vec[None, :])])
+            # The new node's in-edges can only come from the back-edge
+            # pushes into row_ids, so its symmetrised row is exactly its
+            # own (id-sorted) graph row.
+            adjacency.append(np.sort(row_ids).astype(np.int64))
+            push_back_edges(indices, distances, adjacency, pos, row_ids,
+                            row_dists)
+        self.data = np.ascontiguousarray(data)
+        self.graph = KNNGraph(indices, distances, metric=self.graph.metric)
+        self._data_norms = norms
+        self._adjacency = adjacency
+        return np.arange(first, data.shape[0], dtype=np.int64)
 
     def query(self, query: np.ndarray, n_results: int = 10, *,
               pool_size: int | None = None,

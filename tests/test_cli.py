@@ -381,3 +381,162 @@ class TestIndexCommands:
                   "--n-samples", "300", "--n-features", "8",
                   "--backend", "nndescent", "--n-neighbors", "5",
                   "--tau", "4"])
+
+
+class TestMutationCommands:
+    """insert/delete/compact/reload subcommands, end to end."""
+
+    def _build(self, tmp_path, name="mut.idx", extra=()):
+        path = str(tmp_path / name)
+        assert main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "300", "--n-features", "8",
+                     "--backend", "bruteforce", "--n-neighbors", "6",
+                     "--seed", "1", *extra]) == 0
+        return path
+
+    def test_insert_delete_compact_round_trip(self, tmp_path, capsys):
+        from repro.index import load_index
+
+        path = self._build(tmp_path)
+        capsys.readouterr()
+        assert main(["insert", path, "--n-new", "7", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "n_points" in out and "generation" in out
+        assert main(["delete", path, "--ids", "0,5,299"]) == 0
+        capsys.readouterr()
+        index = load_index(path)
+        assert index.n_points == 300 + 7 - 3
+        assert index.n_tombstones == 3
+        assert index.generation == 2
+        assert main(["compact", path]) == 0
+        capsys.readouterr()
+        index = load_index(path)
+        assert index.n_tombstones == 0
+        assert index.generation == 3
+        # The mutated index still serves searches through the CLI.
+        assert main(["search", path, "--n-queries", "10", "--k", "3"]) == 0
+
+    def test_insert_from_vector_file(self, tmp_path, capsys):
+        from repro.index import load_index
+
+        path = self._build(tmp_path)
+        vectors = np.random.default_rng(9).normal(size=(4, 8))
+        vector_path = str(tmp_path / "new.npy")
+        np.save(vector_path, vectors)
+        assert main(["insert", path, "--vectors", vector_path]) == 0
+        capsys.readouterr()
+        index = load_index(path)
+        assert index.n_points == 304
+        idx, _ = index.search(np.ascontiguousarray(vectors), 1)
+        assert np.array_equal(np.sort(idx.ravel()),
+                              np.arange(300, 304))
+
+    def test_sharded_mutation_round_trip(self, tmp_path, capsys):
+        from repro.index import load_index
+
+        path = self._build(tmp_path, name="mut.shards",
+                           extra=("--shards", "2",
+                                  "--partitioner", "gkmeans"))
+        capsys.readouterr()
+        assert main(["insert", path, "--n-new", "5", "--seed", "3"]) == 0
+        assert main(["delete", path, "--ids", "1,2"]) == 0
+        assert main(["compact", path]) == 0
+        capsys.readouterr()
+        sharded = load_index(path)
+        try:
+            assert sharded.n_points == 303
+            assert sharded.n_tombstones == 0
+        finally:
+            sharded.close()
+
+    def test_delete_unknown_id_exits_cleanly(self, tmp_path, capsys):
+        path = self._build(tmp_path)
+        capsys.readouterr()
+        assert main(["delete", path, "--ids", "99999"]) == 2
+        error = capsys.readouterr().err.strip()
+        assert error.startswith("error:")
+        assert "\n" not in error
+
+    def test_reload_command_round_trip(self, tmp_path, capsys):
+        from repro.net import ShardServer, load_shard_for_serving
+
+        path = self._build(tmp_path, name="serve.shards",
+                           extra=("--shards", "2",
+                                  "--partitioner", "gkmeans"))
+        capsys.readouterr()
+        servers = []
+        try:
+            for shard in range(2):
+                index, shard_id, generation, _ = load_shard_for_serving(
+                    path, shard)
+                server = ShardServer(index, shard_id=shard_id,
+                                     generation=generation,
+                                     source_path=path)
+                server.start()
+                servers.append(server)
+            endpoints = ",".join(server.endpoint for server in servers)
+            assert main(["insert", path, "--n-new", "4", "--seed", "2"]) \
+                == 0
+            capsys.readouterr()
+            assert main(["reload", "--endpoints", endpoints]) == 0
+            out = capsys.readouterr().out
+            assert "reloads" in out
+            for server in servers:
+                assert server.n_reloads == 1
+            # The daemons now serve the inserted generation: a routed
+            # remote search agrees with the local thread executor.
+            remote_dump = str(tmp_path / "remote.npz")
+            thread_dump = str(tmp_path / "thread.npz")
+            assert main(["search", path, "--n-queries", "12", "--k", "4",
+                         "--executor", "remote", "--endpoints", endpoints,
+                         "--dump", remote_dump]) == 0
+            assert main(["search", path, "--n-queries", "12", "--k", "4",
+                         "--executor", "thread",
+                         "--dump", thread_dump]) == 0
+            capsys.readouterr()
+            remote = np.load(remote_dump)
+            thread = np.load(thread_dump)
+            assert np.array_equal(remote["indices"], thread["indices"])
+            assert np.array_equal(remote["distances"],
+                                  thread["distances"])
+        finally:
+            for server in servers:
+                server.close()
+
+    def test_reload_dead_endpoint_exits_cleanly(self, capsys):
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["reload", "--endpoints", f"127.0.0.1:{port}"]) == 2
+        error = capsys.readouterr().err.strip()
+        assert error.startswith("error:")
+
+    def test_dump_write_is_atomic(self, tmp_path, capsys, monkeypatch):
+        """--dump lands via rename: a crash mid-write never leaves a
+        truncated NPZ at the destination."""
+        import os
+
+        path = self._build(tmp_path)
+        capsys.readouterr()
+        dump = tmp_path / "out.npz"
+        import repro.cli as cli_module
+
+        real_replace = os.replace
+        monkeypatch.setattr(cli_module.os, "replace",
+                            lambda src, dst: (_ for _ in ()).throw(
+                                OSError("disk gone")))
+        with pytest.raises(OSError, match="disk gone"):
+            main(["search", path, "--n-queries", "5", "--k", "3",
+                  "--dump", str(dump)])
+        capsys.readouterr()
+        assert not dump.exists()          # nothing half-written
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name.endswith(".npz.tmp")]
+        assert leftovers == []            # temp file cleaned up
+        monkeypatch.setattr(cli_module.os, "replace", real_replace)
+        assert main(["search", path, "--n-queries", "5", "--k", "3",
+                     "--dump", str(dump)]) == 0
+        capsys.readouterr()
+        assert dump.exists()

@@ -335,6 +335,39 @@ class TestClientFaults:
         with pytest.raises(ValidationError, match="retries"):
             ShardClient("h:1", retries=-1)
 
+    def test_backoff_is_exponential_with_jitter(self, monkeypatch):
+        """Each retry sleeps ``backoff * 2^(attempt-1)`` scaled by a
+        uniform jitter in [0.5, 1.5) — never zero, never synchronized."""
+        client = ShardClient("h:1", backoff_seconds=0.1)
+        slept = []
+        monkeypatch.setattr("repro.net.client.time.sleep", slept.append)
+        try:
+            for _ in range(200):
+                client._sleep_backoff(1)
+            client._sleep_backoff(2)
+            client._sleep_backoff(3)
+        finally:
+            client.close()
+        first = np.asarray(slept[:200])
+        assert np.all(first >= 0.05) and np.all(first < 0.15)
+        assert np.unique(first).size > 1          # actually jittered
+        assert 0.1 <= slept[200] < 0.3            # 2x base window
+        assert 0.2 <= slept[201] < 0.6            # 4x base window
+
+    def test_reload_without_source_path_is_serving_error(self):
+        base = make_sift_like(60, 8, random_state=1)
+        index = Index.build(base, IndexSpec(backend="bruteforce",
+                                            n_neighbors=6, random_state=1))
+        server = ShardServer(index)               # no source_path
+        server.start()
+        client = ShardClient(server.endpoint, **FAST)
+        try:
+            with pytest.raises(ServingError, match="source path"):
+                client.reload()
+        finally:
+            client.close()
+            server.close()
+
 
 class TestEndpointPoolHealth:
     def test_check_health_reports_and_evicts(self, served_shard):
@@ -424,7 +457,7 @@ class TestLoadShardForServing:
         spec = IndexSpec(backend="bruteforce", n_neighbors=6, n_shards=2,
                          random_state=2)
         sharded = ShardedIndex.build(base, spec)
-        sharded.generation = 3
+        sharded.shards[1].generation = 3
         path = tmp_path / "deploy.shards"
         sharded.save(path)
         index, shard_id, generation, n_shards = load_shard_for_serving(
@@ -433,6 +466,26 @@ class TestLoadShardForServing:
         assert index.n_points == sharded.shards[1].n_points
         with pytest.raises(ValidationError):
             load_shard_for_serving(path, shard=2)
+
+    def test_pre_v4_manifest_falls_back_to_global_generation(self,
+                                                             tmp_path):
+        """A manifest without per-shard generations (format <= 3) serves
+        its shards at the manifest's single global generation."""
+        base = make_sift_like(200, 8, random_state=2)
+        spec = IndexSpec(backend="bruteforce", n_neighbors=6, n_shards=2,
+                         random_state=2)
+        sharded = ShardedIndex.build(base, spec)
+        sharded.generation = 5
+        path = tmp_path / "deploy.shards"
+        sharded.save(path)
+        manifest_path = path / "manifest.npz"
+        with np.load(manifest_path, allow_pickle=False) as archive:
+            manifest = {key: archive[key] for key in archive.files}
+        del manifest["shard_generations"]
+        manifest["sharded_format_version"] = np.int64(3)
+        np.savez(manifest_path, **manifest)
+        _, _, generation, _ = load_shard_for_serving(path, shard=1)
+        assert generation == 5
 
     def test_loads_single_file_index(self, tmp_path):
         base = make_sift_like(100, 8, random_state=2)

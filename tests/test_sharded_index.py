@@ -375,16 +375,19 @@ class TestManifestBackCompat:
 
     def test_resave_upgrades_to_current_format(self, v1_directory,
                                                tmp_path):
-        """A v1 directory round-trips into the current (v3) layout."""
+        """A v1 directory round-trips into the current (v4) layout."""
         restored = ShardedIndex.load(v1_directory[1])
         upgraded_path = tmp_path / "upgraded.shards"
         restored.save(upgraded_path)
         with np.load(upgraded_path / "manifest.npz",
                      allow_pickle=False) as archive:
-            assert int(archive["sharded_format_version"]) == 3
+            assert int(archive["sharded_format_version"]) == 4
             assert "centroids" not in archive.files
             assert int(archive["generation"]) == 0
             assert "endpoints" not in archive.files
+            assert np.array_equal(archive["shard_generations"],
+                                  np.zeros(restored.n_shards))
+            assert int(archive["next_id"]) == restored.n_rows
 
     def test_v2_without_deployment_keys_loads(self, shard_setup, tmp_path):
         """PR-5/6 (v2) manifests predate deployment metadata."""
@@ -535,8 +538,14 @@ class TestConstructorValidation:
             ShardedIndex(sharded_index.shards[:2], sharded_index.shard_ids,
                          sharded_index.spec)
 
-    def test_rejects_non_permutation_ids(self, sharded_index):
+    def test_rejects_duplicate_global_ids(self, sharded_index):
         bad_ids = [ids.copy() for ids in sharded_index.shard_ids]
         bad_ids[0][0] = bad_ids[1][0]      # duplicate a global id
-        with pytest.raises(ValidationError, match="permutation"):
+        with pytest.raises(ValidationError, match="unique"):
+            ShardedIndex(sharded_index.shards, bad_ids, sharded_index.spec)
+
+    def test_rejects_negative_global_ids(self, sharded_index):
+        bad_ids = [ids.copy() for ids in sharded_index.shard_ids]
+        bad_ids[0][0] = -1
+        with pytest.raises(ValidationError, match="non-negative"):
             ShardedIndex(sharded_index.shards, bad_ids, sharded_index.spec)
