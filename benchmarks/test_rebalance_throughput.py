@@ -1,0 +1,117 @@
+"""Rebalance benchmark: routed recall recovered after delete drift.
+
+Delete-heavy drift is the failure mode routed serving cannot see: after
+most of one shard's rows are tombstoned, queries that live in that region
+still route to the shard's *build-time* centroid (``shard_probe=1``) and
+find only the remnants, so recall silently collapses while full-fan-out
+serving stays exact.  This benchmark reproduces that drift, runs the
+maintenance pass (``rebalance`` merges the starved shard into its
+nearest-centroid sibling and refreshes every routing centroid), and
+records routed recall@10 and queries/sec *before vs after* into the bench
+trajectory.  The enforced contract: the live set is untouched by the
+pass (same exact ground truth on both sides), and rebalanced routed
+recall must be at least the drifted value — the maintenance pass may
+never make routing worse.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+import pytest
+
+from conftest import BENCH, recall_against, run_once
+
+from repro.datasets import make_sift_like
+from repro.graph.bruteforce import brute_force_neighbors
+from repro.index import IndexSpec, RebalancePolicy, build_index
+
+N_SHARDS = 4
+
+#: Live rows the starved shard keeps; far below ``MIN_SHARD_ROWS`` so the
+#: maintenance pass must merge it away.
+REMNANT_ROWS = 20
+
+MIN_SHARD_ROWS = 50
+
+N_QUERIES = 256
+
+
+def _routed_qps_and_recall(index, queries, exact_idx):
+    start = time.perf_counter()
+    indices, _ = index.search(queries, 10, shard_probe=1,
+                              shard_workers=N_SHARDS)
+    elapsed = time.perf_counter() - start
+    return queries.shape[0] / elapsed, recall_against(indices, exact_idx)
+
+
+def test_rebalance_recovers_routed_recall(benchmark):
+    base = make_sift_like(BENCH.n_samples, BENCH.n_features,
+                          random_state=BENCH.random_state)
+    spec = IndexSpec(backend="gkmeans", n_neighbors=BENCH.n_neighbors,
+                     pool_size=64, n_shards=N_SHARDS,
+                     partitioner="gkmeans",
+                     random_state=BENCH.random_state,
+                     params={"tau": BENCH.graph_tau,
+                             "cluster_size": BENCH.cluster_size})
+    index = build_index(base, spec)
+
+    # Starve shard 0: tombstone all but a remnant of its rows.  The
+    # deleted vectors become the query workload — they still route to
+    # shard 0's build-time centroid, whose content is now gone.
+    victim_ids = index.shard_ids[0][index.shards[0].live_mask]
+    deleted = victim_ids[REMNANT_ROWS:]
+    index.delete(deleted.tolist())
+    rng = np.random.default_rng(BENCH.random_state)
+    queries = np.ascontiguousarray(
+        base[rng.choice(deleted, size=N_QUERIES, replace=False)])
+
+    # One exact oracle serves both measurements: rebalancing moves rows
+    # between shards but never changes the live set.
+    live_ids = np.sort(np.concatenate(
+        [ids[shard.live_mask]
+         for ids, shard in zip(index.shard_ids, index.shards)]))
+    exact_local, _ = brute_force_neighbors(
+        queries, np.ascontiguousarray(base[live_ids]), 10)
+    exact_idx = live_ids[exact_local]
+
+    drifted_qps, drifted_recall = _routed_qps_and_recall(
+        index, queries, exact_idx)
+
+    report = run_once(benchmark, index.rebalance,
+                      RebalancePolicy(min_shard_rows=MIN_SHARD_ROWS))
+    assert report.n_merges >= 1, \
+        "the starved shard must be merged away"
+    assert sum(index.shard_sizes) == live_ids.size
+
+    rebalanced_qps, rebalanced_recall = _routed_qps_and_recall(
+        index, queries, exact_idx)
+
+    benchmark.extra_info["n_shards_before"] = report.n_shards_before
+    benchmark.extra_info["n_shards_after"] = report.n_shards_after
+    benchmark.extra_info["n_merges"] = report.n_merges
+    benchmark.extra_info["drifted_recall_at_10"] = round(drifted_recall, 4)
+    benchmark.extra_info["rebalanced_recall_at_10"] = \
+        round(rebalanced_recall, 4)
+    benchmark.extra_info["drifted_queries_per_second"] = \
+        round(drifted_qps, 1)
+    benchmark.extra_info["rebalanced_queries_per_second"] = \
+        round(rebalanced_qps, 1)
+    print(f"\nrouted recall@10 (probe=1): drifted {drifted_recall:.3f} "
+          f"-> rebalanced {rebalanced_recall:.3f}; "
+          f"{drifted_qps:,.0f} -> {rebalanced_qps:,.0f} queries/s")
+
+    # The merge folds the starved region into the sibling that actually
+    # holds its neighbours, and the centroid refresh re-aims routing at
+    # live content — the maintenance pass may never lose recall.
+    assert rebalanced_recall >= drifted_recall, \
+        f"rebalance lost routed recall: {drifted_recall:.3f} -> " \
+        f"{rebalanced_recall:.3f}"
+    # Full fan-out keeps near-exact recall on the rebalanced index (the
+    # per-shard graph walk is approximate, so this is the graph-quality
+    # floor, not a bitwise bound).
+    full_idx, _ = index.search(queries, 10, shard_workers=N_SHARDS)
+    assert recall_against(full_idx, exact_idx) >= 0.95
+    index.close()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links resolve.
+
+Scans the maintained markdown sources (README, ROADMAP, everything under
+docs/) for inline links and validates every relative target against the
+working tree (anchors are stripped; external schemes and bare anchors
+are skipped). Generated artifacts like PAPERS.md are out of scope —
+their image references point at a retrieval pipeline, not this repo. CI
+runs this in the docs job so a moved or renamed file cannot silently
+orphan the documentation; run locally with:
+
+    python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown sources whose links must resolve.
+DOC_GLOBS = ("README.md", "ROADMAP.md", "CHANGES.md", "EXPERIMENTS.md",
+             "docs/*.md")
+
+#: ``[text](target)`` inline links; images share the syntax via ``!``.
+LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that point outside the repo and are not checked.
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def _doc_paths() -> list:
+    paths = []
+    for pattern in DOC_GLOBS:
+        paths.extend(glob.glob(os.path.join(REPO_ROOT, pattern)))
+    return sorted(paths)
+
+
+def _broken_links(path: str) -> list:
+    broken = []
+    with open(path, encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            for match in LINK.finditer(line):
+                target = match.group(1).split("#", 1)[0]
+                if not target or EXTERNAL.match(match.group(1)):
+                    continue
+                if target.startswith("/"):
+                    resolved = os.path.join(REPO_ROOT, target.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), target)
+                if not os.path.exists(resolved):
+                    broken.append((lineno, match.group(1)))
+    return broken
+
+
+def main() -> int:
+    """Scan every documentation file; exit 1 on any broken link."""
+    paths = _doc_paths()
+    if not paths:
+        print("error: no markdown files found to check", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        rel = os.path.relpath(path, REPO_ROOT)
+        for lineno, target in _broken_links(path):
+            print(f"{rel}:{lineno}: broken link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+    checked = len(paths)
+    if failures:
+        print(f"{failures} broken link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"ok: all relative links resolve across {checked} markdown "
+          f"file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,7 @@ SERVING_BENCHMARKS = (
     "benchmarks/test_sharded_throughput.py",
     "benchmarks/test_routed_throughput.py",
     "benchmarks/test_remote_throughput.py",
+    "benchmarks/test_rebalance_throughput.py",
 )
 
 

@@ -50,7 +50,15 @@ from .graph import (
     nn_descent_knn_graph,
 )
 from .search import GraphSearcher
-from .index import Index, IndexSpec, ShardedIndex, build_index, load_index
+from .index import (
+    Index,
+    IndexSpec,
+    RebalancePolicy,
+    Rebalancer,
+    ShardedIndex,
+    build_index,
+    load_index,
+)
 from .serving import CoalescingServer, serve_concurrently
 from .exceptions import (
     DatasetError,
@@ -91,6 +99,8 @@ __all__ = [
     "Index",
     "IndexSpec",
     "ShardedIndex",
+    "Rebalancer",
+    "RebalancePolicy",
     "build_index",
     "load_index",
     "CoalescingServer",

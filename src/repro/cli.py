@@ -185,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the search results (indices, distances) "
                              "to this NPZ file — for comparing executors "
                              "bit-for-bit from the shell")
+    search.add_argument("--preflight", action="store_true",
+                        help="health-check every remote endpoint (ping, no "
+                             "search frames) before serving; a dead daemon "
+                             "is reported up front and the command exits 2 "
+                             "without sending a single query")
     search.add_argument("--seed", type=int, default=0)
 
     serve = sub.add_parser(
@@ -234,6 +239,30 @@ def build_parser() -> argparse.ArgumentParser:
     reload_.add_argument("--endpoints", required=True,
                          help="comma-separated host:port list of daemons "
                               "to reload")
+
+    rebalance = sub.add_parser(
+        "rebalance", help="split/merge drifted shards of a saved sharded "
+                          "index and refresh its routing centroids "
+                          "(copy-on-write; daemons reload afterwards)")
+    rebalance.add_argument("index",
+                           help="a sharded index directory saved by "
+                                "'build --shards N'")
+    rebalance.add_argument("--max-shard-rows", type=int, default=None,
+                           help="split shards holding more live rows than "
+                                "this (default: no splitting)")
+    rebalance.add_argument("--min-shard-rows", type=int, default=None,
+                           help="merge shards holding fewer live rows than "
+                                "this into their nearest-centroid sibling "
+                                "(default: no merging)")
+    rebalance.add_argument("--no-refresh-centroids", action="store_true",
+                           help="skip recomputing the coarse routing "
+                                "centroids from the live rows")
+    rebalance.add_argument("--endpoints", default=None,
+                           help="comma-separated host:port list of the "
+                                "running daemons (one per shard, in shard "
+                                "order); stale ones are reloaded after the "
+                                "manifest lands — omitted, only the on-disk "
+                                "index is rebalanced")
 
     sub.add_parser("list", help="list datasets, methods and experiments")
     return parser
@@ -329,6 +358,28 @@ def _run_search(args) -> int:
                         "--endpoints applies to sharded indexes only "
                         "(single-file indexes have no shard fan-out)")
                 index.endpoints = args.endpoints
+            if args.preflight:
+                if not sharded:
+                    raise ValidationError(
+                        "--preflight applies to sharded indexes with a "
+                        "remote deployment (single-file indexes have no "
+                        "endpoints to check)")
+                # Ping-only: a dead daemon fails here, before any query
+                # leaves this process.
+                health = index.check_endpoints()
+                dead = sorted(endpoint for endpoint, latency
+                              in health.items() if latency is None)
+                rows = [{"endpoint": endpoint,
+                         "status": "ok" if latency is not None else "DEAD",
+                         "ping_ms": (latency * 1000.0
+                                     if latency is not None else "-")}
+                        for endpoint, latency in health.items()]
+                print(render_table(rows))
+                if dead:
+                    raise ServingError(
+                        f"preflight failed: endpoint(s) {', '.join(dead)} "
+                        "did not answer the health check; no queries were "
+                        "sent")
             evaluation = evaluate_search(index, queries, n_results=args.k,
                                          pool_size=args.pool_size,
                                          workers=args.workers,
@@ -415,6 +466,53 @@ def _run_mutate(args) -> int:
                    generation=index.generation,
                    out=args.index)
         print(render_table([row]))
+    return 0
+
+
+def _run_rebalance(args) -> int:
+    from .index import RebalancePolicy, Rebalancer
+
+    try:
+        policy = RebalancePolicy(
+            max_shard_rows=args.max_shard_rows,
+            min_shard_rows=args.min_shard_rows,
+            refresh_centroids=not args.no_refresh_centroids)
+        rebalancer = Rebalancer(args.index, policy,
+                                endpoints=args.endpoints)
+        report, reloads = rebalancer.run()
+    except (ValidationError, ServingError, FileNotFoundError) as exc:
+        print(f"error: cannot rebalance index {args.index!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not report.changed:
+        print(f"index {args.index} is balanced; nothing to do")
+    else:
+        print(render_table([{
+            "splits": report.n_splits,
+            "merges": report.n_merges,
+            "refreshed": report.refreshed,
+            "shards": f"{report.n_shards_before} -> "
+                      f"{report.n_shards_after}",
+            "generation": report.generation,
+            "out": args.index,
+        }]))
+        for action in report.actions:
+            print(f"  {action.kind}: {action.detail}")
+    for note in report.notes:
+        print(f"  note: {note}")
+    if report.endpoints_detached:
+        print("note: the shard topology changed — the saved endpoint "
+              "deployment was detached; re-serve one daemon per shard "
+              "and re-attach with --endpoints", file=sys.stderr)
+    if reloads:
+        print(render_table([
+            {"endpoint": row["endpoint"], "shard": row["shard"],
+             "status": row["status"]} for row in reloads]))
+        failed = [row for row in reloads if row["status"] == "error"]
+        if failed:
+            for row in failed:
+                print(f"error: {row['error']}", file=sys.stderr)
+            return 2
     return 0
 
 
@@ -526,6 +624,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "reload":
         return _run_reload(args)
+
+    if args.command == "rebalance":
+        return _run_rebalance(args)
 
     if args.command == "cluster":
         data = load_dataset(args.dataset, args.n_samples, args.n_features,

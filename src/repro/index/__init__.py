@@ -39,6 +39,12 @@ from .executors import (
     ThreadShardExecutor,
 )
 from .facade import FORMAT_VERSION, Index
+from .rebalance import (
+    RebalanceAction,
+    RebalancePolicy,
+    RebalanceReport,
+    Rebalancer,
+)
 from .sharded import (
     MANIFEST_NAME,
     SHARDED_FORMAT_VERSION,
@@ -58,6 +64,10 @@ __all__ = [
     "PARTITIONERS",
     "EXECUTORS",
     "BuilderEntry",
+    "Rebalancer",
+    "RebalancePolicy",
+    "RebalanceAction",
+    "RebalanceReport",
     "ShardSearchTask",
     "ThreadShardExecutor",
     "ProcessShardExecutor",

@@ -69,6 +69,17 @@ executor's generation handshake turns a stale daemon into a
 :class:`~repro.exceptions.ServingError` instead of silent wrong results.
 v1–v3 directories still load; their shards adopt the manifest's global
 generation.
+
+On top of the mutations, format version 4 directories support *shard
+rebalancing* (see :mod:`repro.index.rebalance`): :meth:`ShardedIndex.\
+rebalance` splits oversized shards, folds starving shards into their
+nearest-centroid sibling and refreshes the coarse routing centroids from
+the live rows — all through the same copy-on-write protocol, so a saved
+rebalance is an atomic manifest swap daemons pick up via ``reload``.  A
+split or merge renumbers shards and bumps the children's generations
+(stale daemons fail-fast through the handshake and the endpoint list is
+detached); a refresh-only rebalance leaves shard NPZs and per-shard
+generations untouched, so a running deployment stays valid.
 """
 
 from __future__ import annotations
@@ -498,6 +509,7 @@ class ShardedIndex:
 
     @endpoints.setter
     def endpoints(self, value) -> None:
+        """Attach (or detach with ``None``) the per-shard deployment."""
         if value is None:
             self._endpoints = None
             return
@@ -654,6 +666,7 @@ class ShardedIndex:
                                            name="build_workers")
 
         def build_shard(ids: np.ndarray) -> Index:
+            """Build one shard's sub-index over its partition rows."""
             shard_spec = spec.replace(
                 n_shards=1, shard_probe=None,
                 n_neighbors=min(spec.n_neighbors, ids.size - 1))
@@ -1055,6 +1068,62 @@ class ShardedIndex:
         self.generation += 1
         self._invalidate_serving_state()
         return removed
+
+    def rebalance(self, policy=None, **overrides):
+        """Split/merge drifted shards and refresh the routing centroids.
+
+        One maintenance pass (see :mod:`repro.index.rebalance`): shards
+        below ``min_shard_rows`` live rows are folded into their
+        nearest-centroid sibling, shards above ``max_shard_rows`` are
+        re-partitioned by a coarse 2-means into two children (both rebuilt
+        fresh, tombstones dropped — a split or merge implies compaction of
+        the shards involved), and with ``refresh_centroids`` (the default)
+        every coarse centroid is recomputed as the mean of its shard's
+        live rows in the clustering space, so routed search replays the
+        partition's *current* geometry after insert/delete drift.
+
+        ``policy`` is a :class:`~repro.index.rebalance.RebalancePolicy`;
+        alternatively pass its fields as keyword ``overrides``.  Requires
+        the geometric ``gkmeans`` partitioner's centroids — round_robin
+        and pre-routing directories raise a clear
+        :class:`~repro.exceptions.ValidationError`.
+
+        Global external ids are stable throughout; searches after a
+        rebalance equal a rebuild-from-scratch oracle over the same live
+        rows up to bitwise distance ties (the determinism suite enforces
+        this across metric × dtype × executor).  A split or merge changes
+        the shard topology: per-shard generations bump, the endpoint
+        deployment (if any) is detached, and serving caches reset.  A
+        refresh-only pass keeps shard NPZs, per-shard generations and any
+        running daemons valid.  Returns a
+        :class:`~repro.index.rebalance.RebalanceReport`; a pass that
+        changes nothing reports no actions and bumps no generation.
+        """
+        # Runtime import: rebalance.py imports this module's helpers.
+        from .rebalance import RebalancePolicy, apply_rebalance
+
+        if policy is None:
+            policy = RebalancePolicy(**overrides)
+        elif overrides:
+            raise ValidationError(
+                "pass either a RebalancePolicy or keyword overrides, "
+                "not both")
+        return apply_rebalance(self, policy)
+
+    def check_endpoints(self) -> dict:
+        """Health-check the attached deployment before serving queries.
+
+        Pings every endpoint of :attr:`endpoints` through the remote
+        executor's pool — no search frame is sent — and returns
+        ``{endpoint: latency_seconds | None}``; ``None`` marks a dead
+        endpoint whose pooled connections were evicted, so the next RPC
+        reconnects from scratch.  Raises
+        :class:`~repro.exceptions.ServingError` when no endpoints are
+        attached.  The preflight behind ``gkmeans search --preflight``:
+        a down daemon is reported up front instead of failing the first
+        routed batch mid-flight.
+        """
+        return self._get_executor("remote", 1).check_health()
 
     # ------------------------------------------------------------------ #
     # Persistence

@@ -82,6 +82,7 @@ def register_builder(name: str, *, params=(), metrics=METRICS,
     """Register ``func`` as the construction backend ``name`` (decorator)."""
 
     def decorator(func: Callable) -> Callable:
+        """Record ``func`` in ``BUILDERS`` and return it unchanged."""
         BUILDERS[name] = BuilderEntry(
             build=func, params=frozenset(params), metrics=tuple(metrics),
             description=description)

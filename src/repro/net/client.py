@@ -307,6 +307,25 @@ class EndpointPool:
                 report[str(client.endpoint)] = None
         return report
 
+    def collect_info(self) -> list:
+        """``info`` from every endpoint, in shard order.
+
+        Returns one entry per endpoint: the daemon's info dict, or
+        ``None`` for an endpoint that failed (its pooled connections are
+        evicted, like :meth:`check_health`).  The rebalancer's staleness
+        sweep: comparing each entry's ``shard_id``/``generation`` against
+        the manifest tells which daemons lag the on-disk index without
+        sending a single search frame.
+        """
+        report = []
+        for client in self.clients:
+            try:
+                report.append(client.info())
+            except ServingError:
+                client.evict()
+                report.append(None)
+        return report
+
     def close(self) -> None:
         """Drop every pooled connection of every client (idempotent)."""
         for client in self.clients:

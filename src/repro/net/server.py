@@ -333,12 +333,22 @@ class ShardServer:
         return self._info()
 
     def _info(self) -> dict:
-        """Self-description served by the ``info`` RPC."""
+        """Self-description served by the ``info`` RPC.
+
+        ``shard_id``/``generation`` are the staleness signal the remote
+        executor's handshake and the rebalancer's ``inspect`` compare
+        against the manifest; ``n_points``/``n_rows``/``n_tombstones``
+        give a rebalance policy its per-shard row counts without loading
+        the shard locally.
+        """
         return {
             "shard_id": self.shard_id,
             "generation": self.generation,
             "protocol_version": PROTOCOL_VERSION,
             "n_points": self._index.n_points,
+            "n_rows": self._index.n_rows,
+            "n_tombstones": self._index.n_tombstones,
+            "source_path": self._source_path,
             "n_features": self._index.n_features,
             "metric": self._index.metric,
             "dtype": self._index.spec.dtype,

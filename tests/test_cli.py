@@ -540,3 +540,143 @@ class TestMutationCommands:
                      "--dump", str(dump)]) == 0
         capsys.readouterr()
         assert dump.exists()
+
+
+class TestRebalanceCommands:
+    """rebalance subcommand and the search --preflight health check."""
+
+    def _build_sharded(self, tmp_path, name="rebal.shards", shards="2"):
+        path = str(tmp_path / name)
+        assert main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "300", "--n-features", "8",
+                     "--backend", "bruteforce", "--n-neighbors", "6",
+                     "--shards", shards, "--partitioner", "gkmeans",
+                     "--seed", "1"]) == 0
+        return path
+
+    def test_rebalance_refresh_after_drift(self, tmp_path, capsys):
+        from repro.index import load_index
+
+        path = self._build_sharded(tmp_path)
+        assert main(["insert", path, "--n-new", "9", "--seed", "4"]) == 0
+        capsys.readouterr()
+        assert main(["rebalance", path]) == 0
+        out = capsys.readouterr().out
+        assert "refreshed" in out and "generation" in out
+        # A second pass finds nothing to do and says so.
+        assert main(["rebalance", path]) == 0
+        out = capsys.readouterr().out
+        assert "balanced; nothing to do" in out
+        sharded = load_index(path)
+        try:
+            assert sharded.n_shards == 2       # refresh kept the topology
+        finally:
+            sharded.close()
+
+    def test_rebalance_split_changes_topology(self, tmp_path, capsys):
+        from repro.index import load_index
+
+        path = self._build_sharded(tmp_path)
+        capsys.readouterr()
+        assert main(["rebalance", path, "--max-shard-rows", "100"]) == 0
+        captured = capsys.readouterr()
+        assert "split" in captured.out
+        sharded = load_index(path)
+        try:
+            assert sharded.n_shards > 2
+            assert max(sharded.shard_sizes) <= 100
+        finally:
+            sharded.close()
+
+    def test_rebalance_reloads_stale_daemons(self, tmp_path, capsys):
+        from repro.net import ShardServer, load_shard_for_serving
+
+        path = self._build_sharded(tmp_path)
+        capsys.readouterr()
+        servers = []
+        try:
+            for shard in range(2):
+                index, shard_id, generation, _ = load_shard_for_serving(
+                    path, shard)
+                server = ShardServer(index, shard_id=shard_id,
+                                     generation=generation,
+                                     source_path=path)
+                server.start()
+                servers.append(server)
+            endpoints = ",".join(server.endpoint for server in servers)
+            assert main(["insert", path, "--n-new", "6", "--seed", "2"]) \
+                == 0
+            capsys.readouterr()
+            assert main(["rebalance", path,
+                         "--endpoints", endpoints]) == 0
+            out = capsys.readouterr().out
+            assert "reloaded" in out
+            assert sum(server.n_reloads for server in servers) >= 1
+            # Post-reload, remote answers match the thread executor
+            # bit-for-bit (the CI smoke flow asserts the same via --dump).
+            remote_dump = str(tmp_path / "remote.npz")
+            thread_dump = str(tmp_path / "thread.npz")
+            assert main(["search", path, "--n-queries", "10", "--k", "4",
+                         "--executor", "remote", "--endpoints", endpoints,
+                         "--preflight", "--dump", remote_dump]) == 0
+            assert main(["search", path, "--n-queries", "10", "--k", "4",
+                         "--executor", "thread",
+                         "--dump", thread_dump]) == 0
+            capsys.readouterr()
+            remote, thread = np.load(remote_dump), np.load(thread_dump)
+            assert np.array_equal(remote["indices"], thread["indices"])
+            assert np.array_equal(remote["distances"],
+                                  thread["distances"])
+        finally:
+            for server in servers:
+                server.close()
+
+    def test_rebalance_mono_index_exits_cleanly(self, tmp_path, capsys):
+        path = str(tmp_path / "mono.idx")
+        assert main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "200", "--n-features", "8",
+                     "--backend", "bruteforce", "--n-neighbors", "6",
+                     "--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(["rebalance", path]) == 2
+        error = capsys.readouterr().err.strip()
+        assert error.startswith("error:")
+
+    def test_preflight_dead_daemon_blocks_queries(self, tmp_path, capsys):
+        import socket
+
+        from repro.net import ShardServer, load_shard_for_serving
+
+        path = self._build_sharded(tmp_path)
+        capsys.readouterr()
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead = "127.0.0.1:%d" % probe.getsockname()[1]
+        probe.close()
+        index, shard_id, generation, _ = load_shard_for_serving(path, 0)
+        server = ShardServer(index, shard_id=shard_id,
+                             generation=generation, source_path=path)
+        try:
+            server.start()
+            endpoints = f"{server.endpoint},{dead}"
+            assert main(["search", path, "--n-queries", "10", "--k", "4",
+                         "--executor", "remote", "--endpoints", endpoints,
+                         "--preflight"]) == 2
+            captured = capsys.readouterr()
+            assert "DEAD" in captured.out and dead in captured.out
+            assert "no queries were sent" in captured.err
+            # The live daemon really received no query.
+            assert server.n_searches == 0
+        finally:
+            server.close()
+
+    def test_preflight_on_mono_index_exits_cleanly(self, tmp_path,
+                                                   capsys):
+        path = str(tmp_path / "mono.idx")
+        assert main(["build", "--out", path, "--dataset", "sift1m",
+                     "--n-samples", "200", "--n-features", "8",
+                     "--backend", "bruteforce", "--n-neighbors", "6",
+                     "--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(["search", path, "--preflight"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,78 @@
+"""Docstring-coverage gate for the public index/serving facade.
+
+CI enforces ruff's pydocstyle coverage rules (``D1``/``D419``) for
+``src/repro/index/`` and ``src/repro/serving/``; this test applies the
+same check through ``ast`` so the gate also runs where ruff is not
+installed (the tier-1 environment).  Scope and exemptions mirror the
+pyproject configuration: every module, public class and public function
+(dunders ``__init__`` and magic methods excluded, ``_private`` names
+excluded) must carry a non-empty docstring.
+"""
+
+import ast
+import os
+
+import pytest
+
+import repro
+
+PACKAGE_ROOT = os.path.dirname(repro.__file__)
+CHECKED_PACKAGES = ("index", "serving")
+
+
+def _checked_modules():
+    paths = []
+    for package in CHECKED_PACKAGES:
+        root = os.path.join(PACKAGE_ROOT, package)
+        for dirpath, _, filenames in os.walk(root):
+            paths.extend(os.path.join(dirpath, name)
+                         for name in sorted(filenames)
+                         if name.endswith(".py"))
+    assert paths, "docstring gate found no modules to check"
+    return sorted(paths)
+
+
+def _exempt(name: str) -> bool:
+    # Mirrors the ruff config: private helpers are out of scope, and
+    # D105/D107 (magic methods, __init__) are ignored.
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return name.startswith("_")
+
+
+def _missing_docstrings(path: str) -> list:
+    with open(path, encoding="utf-8") as stream:
+        tree = ast.parse(stream.read(), filename=path)
+    missing = []
+    docstring = ast.get_docstring(tree)
+    if docstring is None or not docstring.strip():
+        missing.append(f"{path}: module docstring")
+
+    def visit(node, inside_private: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.ClassDef)):
+                visit(child, inside_private)
+                continue
+            private = inside_private or _exempt(child.name)
+            if not private:
+                body_doc = ast.get_docstring(child)
+                if body_doc is None or not body_doc.strip():
+                    kind = ("class" if isinstance(child, ast.ClassDef)
+                            else "def")
+                    missing.append(
+                        f"{path}:{child.lineno}: {kind} {child.name}")
+            visit(child, private)
+
+    visit(tree, False)
+    return missing
+
+
+@pytest.mark.parametrize("path", _checked_modules(),
+                         ids=lambda path: os.path.relpath(path,
+                                                          PACKAGE_ROOT))
+def test_public_facade_is_documented(path):
+    missing = _missing_docstrings(path)
+    assert not missing, (
+        "public names without docstrings (the ruff D1 gate mirrors "
+        "this):\n" + "\n".join(missing))

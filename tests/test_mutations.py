@@ -297,6 +297,31 @@ class TestShardedMutationOracle:
                                       label=label + "/compacted")
         sharded.close()
 
+    @pytest.mark.parametrize("metric,dtype", [("sqeuclidean", "float64"),
+                                              ("cosine", "float32")])
+    def test_rebalance_after_mutations_matches_rebuild(self, corpus,
+                                                       metric, dtype):
+        from repro.index import RebalancePolicy
+
+        rtol = 1e-9 if dtype == "float64" else 1e-5
+        sharded, full, live_ids, queries = self._mutated(corpus, metric,
+                                                         dtype)
+        try:
+            sizes = sorted(sharded.shard_sizes)
+            report = sharded.rebalance(RebalancePolicy(
+                max_shard_rows=max(sizes[-1] - 20, sizes[0] + 2),
+                min_shard_rows=sizes[0] + 1))
+            assert report.changed and report.topology_changed
+            oracle = _rebuild_oracle(full, live_ids, metric, dtype)
+            o_idx, o_dist = oracle(queries, 10)
+            s_idx, s_dist = sharded.search(queries, 10)
+            _assert_rows_match_up_to_ties(
+                s_idx, s_dist, o_idx, o_dist, rtol=rtol,
+                label=f"rebalanced/{metric}/{dtype}")
+            assert not np.any(np.isin(s_idx, self.DELETED))
+        finally:
+            sharded.close()
+
     def test_executors_bitwise_identical_on_mutated_index(self, corpus):
         sharded, _, _, queries = self._mutated(corpus, "sqeuclidean",
                                                "float64")
