@@ -3,11 +3,13 @@
 
 Scans the maintained markdown sources (README, ROADMAP, everything under
 docs/) for inline links and validates every relative target against the
-working tree (anchors are stripped; external schemes and bare anchors
-are skipped). Generated artifacts like PAPERS.md are out of scope —
-their image references point at a retrieval pipeline, not this repo. CI
-runs this in the docs job so a moved or renamed file cannot silently
-orphan the documentation; run locally with:
+working tree. Anchored links are validated against the target file's
+headings using GitHub's heading-slug rules — a bare ``#anchor`` must name
+a heading in the current file, and ``other.md#anchor`` must name one in
+``other.md`` — so a reworded section title cannot silently orphan its
+cross-references. External schemes are skipped. Generated artifacts like
+PAPERS.md are out of scope — their image references point at a retrieval
+pipeline, not this repo. CI runs this in the docs job; run locally with:
 
     python scripts/check_docs_links.py
 """
@@ -31,6 +33,19 @@ LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 #: Schemes that point outside the repo and are not checked.
 EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
 
+#: ATX headings (``# ...`` through ``###### ...``).
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*$")
+
+#: Fenced-code delimiters — headings inside fences are not anchors.
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+#: Characters GitHub drops when slugging a heading (word chars, spaces
+#: and hyphens survive; everything else vanishes).
+_SLUG_DROP = re.compile(r"[^\w\- ]")
+
+#: Per-file heading-anchor cache (anchor checks revisit target files).
+_ANCHORS: dict = {}
+
 
 def _doc_paths() -> list:
     paths = []
@@ -39,20 +54,63 @@ def _doc_paths() -> list:
     return sorted(paths)
 
 
+def _slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: strip markup, drop punctuation,
+    lowercase, hyphenate spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.replace("**", "").replace("*", "")
+    return _SLUG_DROP.sub("", text.lower()).strip().replace(" ", "-")
+
+
+def _anchors(path: str) -> set:
+    """All valid anchor slugs of a markdown file (duplicate headings get
+    ``-1``, ``-2``, ... suffixes, as GitHub numbers them)."""
+    if path not in _ANCHORS:
+        slugs: set = set()
+        counts: dict = {}
+        in_fence = False
+        with open(path, encoding="utf-8") as stream:
+            for line in stream:
+                if FENCE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                match = HEADING.match(line)
+                if match:
+                    slug = _slugify(match.group(1))
+                    seen = counts.get(slug, 0)
+                    counts[slug] = seen + 1
+                    slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+        _ANCHORS[path] = slugs
+    return _ANCHORS[path]
+
+
 def _broken_links(path: str) -> list:
     broken = []
     with open(path, encoding="utf-8") as stream:
         for lineno, line in enumerate(stream, start=1):
             for match in LINK.finditer(line):
-                target = match.group(1).split("#", 1)[0]
-                if not target or EXTERNAL.match(match.group(1)):
+                raw = match.group(1)
+                if EXTERNAL.match(raw):
                     continue
-                if target.startswith("/"):
-                    resolved = os.path.join(REPO_ROOT, target.lstrip("/"))
+                target, _, anchor = raw.partition("#")
+                if target:
+                    if target.startswith("/"):
+                        resolved = os.path.join(REPO_ROOT,
+                                                target.lstrip("/"))
+                    else:
+                        resolved = os.path.join(os.path.dirname(path),
+                                                target)
+                    if not os.path.exists(resolved):
+                        broken.append((lineno, raw, "missing file"))
+                        continue
                 else:
-                    resolved = os.path.join(os.path.dirname(path), target)
-                if not os.path.exists(resolved):
-                    broken.append((lineno, match.group(1)))
+                    resolved = path
+                if anchor and resolved.endswith(".md"):
+                    if anchor.lower() not in _anchors(resolved):
+                        broken.append((lineno, raw, "dangling anchor"))
     return broken
 
 
@@ -65,8 +123,8 @@ def main() -> int:
     failures = 0
     for path in paths:
         rel = os.path.relpath(path, REPO_ROOT)
-        for lineno, target in _broken_links(path):
-            print(f"{rel}:{lineno}: broken link -> {target}",
+        for lineno, target, reason in _broken_links(path):
+            print(f"{rel}:{lineno}: {reason} -> {target}",
                   file=sys.stderr)
             failures += 1
     checked = len(paths)
@@ -74,8 +132,8 @@ def main() -> int:
         print(f"{failures} broken link(s) across {checked} file(s)",
               file=sys.stderr)
         return 1
-    print(f"ok: all relative links resolve across {checked} markdown "
-          f"file(s)")
+    print(f"ok: all relative links and anchors resolve across {checked} "
+          f"markdown file(s)")
     return 0
 
 

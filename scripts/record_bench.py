@@ -50,6 +50,7 @@ SERVING_BENCHMARKS = (
     "benchmarks/test_serving_throughput.py",
     "benchmarks/test_sharded_throughput.py",
     "benchmarks/test_routed_throughput.py",
+    "benchmarks/test_quantized_throughput.py",
     "benchmarks/test_remote_throughput.py",
     "benchmarks/test_rebalance_throughput.py",
 )

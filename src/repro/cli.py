@@ -27,7 +27,7 @@ import numpy as np
 
 from . import experiments
 from .datasets import list_datasets, load_dataset
-from .distance import METRICS
+from .distance import METRICS, QUANTIZE_MODES
 from .experiments import render_series, render_table
 from .experiments.config import DEFAULT, LARGE, SMALL, ExperimentScale
 from .experiments.runner import available_methods, run_method
@@ -139,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(persistent worker processes, one shard NPZ "
                             "loaded per worker); results are identical "
                             "either way")
+    build.add_argument("--quantize", choices=sorted(QUANTIZE_MODES),
+                       default="none",
+                       help="compressed-domain serving mode persisted in "
+                            "the spec: float16 or int8 store a compressed "
+                            "code matrix and walk the graph with "
+                            "compressed gemms; the final candidate pool "
+                            "is always re-ranked with the exact metric")
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--tau", type=int, default=None,
                        help="gkmeans backend: construction rounds")
@@ -309,8 +316,8 @@ def _run_build(args) -> int:
                      metric=args.metric, dtype=args.dtype,
                      pool_size=args.pool_size, workers=args.workers,
                      n_shards=args.shards, partitioner=args.partitioner,
-                     executor=args.executor, random_state=args.seed,
-                     params=_build_params(args))
+                     executor=args.executor, quantize=args.quantize,
+                     random_state=args.seed, params=_build_params(args))
     index = build_index(data, spec)
     index.save(args.out)
     row = {
@@ -323,6 +330,8 @@ def _run_build(args) -> int:
         "build_seconds": index.build_seconds,
         "out": args.out,
     }
+    if spec.quantize != "none":
+        row["quantize"] = spec.quantize
     if spec.n_shards > 1:
         row.update(shards=index.n_shards, partitioner=spec.partitioner)
     else:

@@ -10,6 +10,12 @@ Two layers live here:
   through.  Its ``sqeuclidean``/``float64`` configuration is numerically
   identical to the legacy kernels.
 
+A third, optional layer — :mod:`repro.distance.quantized` — compresses a
+dataset into ``float16`` or ``int8`` codes (:class:`ScalarQuantizer`) and
+scores candidates in the compressed domain (:class:`QuantizedScorer`); the
+serving stack re-ranks every returned candidate pool with the exact engine,
+so quantization trades recall, never distance correctness.
+
 All hot paths are blocked and memory-bounded so million-scale matrices never
 have to be materialised at once, and every block costs a single BLAS gemm.
 """
@@ -25,12 +31,22 @@ from .kernels import (
     pairwise_within_block,
 )
 from .norms import squared_norms, normalize_rows
+from .quantized import (
+    QUANTIZE_MODES,
+    QuantizedScorer,
+    ScalarQuantizer,
+    resolve_quantize,
+)
 
 __all__ = [
     "DistanceEngine",
     "METRICS",
+    "QUANTIZE_MODES",
+    "QuantizedScorer",
+    "ScalarQuantizer",
     "resolve_metric",
     "resolve_dtype",
+    "resolve_quantize",
     "DistanceCounter",
     "squared_euclidean",
     "pairwise_squared_euclidean",

@@ -167,9 +167,11 @@ class DistanceCounter:
         self.count = 0
 
     def add(self, amount: int) -> None:
+        """Record ``amount`` additional distance evaluations."""
         self.count += int(amount)
 
     def reset(self) -> None:
+        """Zero the counter (e.g. between benchmark iterations)."""
         self.count = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,12 +1,14 @@
 """k-nearest-neighbour graph substrate.
 
-Contains the :class:`~repro.graph.knngraph.KNNGraph` container, exact and
-approximate construction algorithms (brute force, random initialisation,
-NN-Descent, and the paper's Alg. 3 clustering-driven construction) and recall
-metrics against an exact ground truth.
+Contains the :class:`~repro.graph.knngraph.KNNGraph` container, the flat
+:class:`~repro.graph.csr.CSRAdjacency` layout the searcher serves from,
+exact and approximate construction algorithms (brute force, random
+initialisation, NN-Descent, and the paper's Alg. 3 clustering-driven
+construction) and recall metrics against an exact ground truth.
 """
 
 from .neighbor_heap import NeighborHeap
+from .csr import CSRAdjacency
 from .knngraph import KNNGraph
 from .bruteforce import brute_force_knn_graph, brute_force_neighbors
 from .random_graph import random_knn_graph
@@ -16,6 +18,7 @@ from .construction import GraphConstructionResult, build_knn_graph_by_clustering
 
 __all__ = [
     "NeighborHeap",
+    "CSRAdjacency",
     "KNNGraph",
     "brute_force_knn_graph",
     "brute_force_neighbors",

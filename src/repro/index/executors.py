@@ -31,6 +31,12 @@ so the executor choice is a pure placement knob: results are bit-for-bit
 identical between ``thread``, ``process``, ``remote`` and the serial
 inline path — a contract enforced by the determinism suite, not left to
 hope.
+
+Quantized serving needs no executor-side support: ``spec.quantize``
+travels inside each shard's spec (and the ``int8`` parameters inside each
+shard's NPZ, which is what process workers and remote daemons load), and
+every executor funnels into ``Index.search``, so a quantized shard serves
+identically — and still bit-for-bit across executors — wherever it runs.
 """
 
 from __future__ import annotations

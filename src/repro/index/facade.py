@@ -32,7 +32,7 @@ import zipfile
 
 import numpy as np
 
-from ..distance import DistanceEngine
+from ..distance import DistanceEngine, ScalarQuantizer
 from ..exceptions import GraphError, ValidationError
 from ..graph.knngraph import KNNGraph
 from ..search.greedy import GraphSearcher
@@ -47,11 +47,13 @@ __all__ = ["Index", "FORMAT_VERSION"]
 
 #: Version of the NPZ persistence layout.  Version 2 added the online
 #: mutation state (external ``ids``, ``tombstones``, the ``next_id``
-#: counter and the ``generation`` counter); version-1 files still load as
-#: unmutated indexes.
-FORMAT_VERSION = 2
+#: counter and the ``generation`` counter); version 3 added the
+#: quantization state (``quantizer_scale`` / ``quantizer_offset``, present
+#: only for ``int8`` specs — the code matrix itself is re-derived on load).
+#: Version-1/2 files still load (as unmutated / unquantized indexes).
+FORMAT_VERSION = 3
 
-_READABLE_FORMAT_VERSIONS = (1, 2)
+_READABLE_FORMAT_VERSIONS = (1, 2, 3)
 
 _REQUIRED_KEYS = ("format_version", "spec_json", "data", "graph_indices",
                   "graph_metric")
@@ -93,6 +95,7 @@ class Index:
                  ids: np.ndarray | None = None,
                  tombstones: np.ndarray | None = None,
                  next_id: int | None = None, generation: int = 0,
+                 quantizer: ScalarQuantizer | None = None,
                  build_seconds: float | None = None) -> None:
         if not isinstance(spec, IndexSpec):
             raise ValidationError(
@@ -106,7 +109,8 @@ class Index:
             data, graph, pool_size=spec.pool_size, n_starts=spec.n_starts,
             seed_sample=spec.seed_sample, symmetrize=spec.symmetrize,
             random_state=spec.random_state, metric=spec.metric,
-            dtype=spec.dtype, data_norms=norms)
+            dtype=spec.dtype, data_norms=norms, quantize=spec.quantize,
+            quantizer=quantizer)
         self.graph = graph
         self.build_seconds = build_seconds
         n = self._searcher.data.shape[0]
@@ -173,6 +177,12 @@ class Index:
     @property
     def _data_norms(self) -> np.ndarray | None:
         return self._searcher._data_norms
+
+    @property
+    def quantizer(self) -> ScalarQuantizer | None:
+        """The index's :class:`~repro.distance.ScalarQuantizer` (``None``
+        for ``quantize="none"`` specs)."""
+        return self._searcher.quantizer
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -506,7 +516,9 @@ class Index:
 
         External ids are stable across compaction — live points keep their
         ids while physical rows close ranks.  A no-op (returning 0, no
-        generation bump) when nothing is tombstoned.  Returns the number
+        generation bump) when nothing is tombstoned.  Quantized indexes
+        refit their ``int8`` parameters over the surviving rows (compaction
+        is a rebuild, so "build time" moves with it).  Returns the number
         of rows removed.
         """
         removed = self.n_tombstones
@@ -524,7 +536,7 @@ class Index:
             n_starts=self.spec.n_starts, seed_sample=self.spec.seed_sample,
             symmetrize=self.spec.symmetrize,
             random_state=self.spec.random_state, metric=self.spec.metric,
-            dtype=self.spec.dtype,
+            dtype=self.spec.dtype, quantize=self.spec.quantize,
             data_norms=None if norms is None else norms[live])
         self._searcher.close()
         self._searcher = searcher
@@ -561,6 +573,14 @@ class Index:
             payload["graph_distances"] = self.graph.distances
         if self._data_norms is not None:
             payload["norms"] = self._data_norms
+        quantizer = self.quantizer
+        if quantizer is not None and quantizer.scale is not None:
+            # int8 parameters are build-time state: persisting them (rather
+            # than refitting on load) keeps codes — and therefore served
+            # results — bit-identical across save/load even after inserts
+            # extended the data beyond the fitted range.
+            payload["quantizer_scale"] = quantizer.scale
+            payload["quantizer_offset"] = quantizer.offset
         path = os.fspath(path)
         handle, tmp_path = tempfile.mkstemp(
             dir=os.path.dirname(path) or ".", suffix=".idx.tmp")
@@ -612,6 +632,11 @@ class Index:
                            if "next_id" in archive.files else None)
                 generation = (int(archive["generation"])
                               if "generation" in archive.files else 0)
+                quantizer = None
+                if "quantizer_scale" in archive.files:
+                    quantizer = ScalarQuantizer(
+                        "int8", scale=archive["quantizer_scale"],
+                        offset=archive["quantizer_offset"])
         except ValidationError:
             raise
         except (OSError, ValueError, KeyError, EOFError,
@@ -623,7 +648,7 @@ class Index:
                              metric=graph_metric)
             return cls(data, graph, spec, norms=norms, ids=ids,
                        tombstones=tombstones, next_id=next_id,
-                       generation=generation)
+                       generation=generation, quantizer=quantizer)
         except (GraphError, ValidationError) as exc:
             raise ValidationError(
                 f"index file {path!r} is inconsistent: {exc}") from exc

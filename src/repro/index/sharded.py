@@ -122,11 +122,14 @@ __all__ = ["ShardedIndex", "ShardedServingStats", "SHARDED_FORMAT_VERSION",
 #: version 3 added the deployment metadata (optional per-shard
 #: ``endpoints`` list for ``executor="remote"`` plus a ``generation``
 #: counter); version 4 added the online-mutation state (per-shard
-#: ``shard_generations`` and the global ``next_id`` counter).  Older
-#: directories still load, without the newer keys.
-SHARDED_FORMAT_VERSION = 4
+#: ``shard_generations`` and the global ``next_id`` counter); version 5
+#: marks specs that may carry ``quantize`` — the quantization state itself
+#: lives in the spec JSON plus each shard's own NPZ (mono format v3), so
+#: the manifest layout is unchanged.  Older directories still load, without
+#: the newer keys (and therefore as ``quantize="none"``).
+SHARDED_FORMAT_VERSION = 5
 
-_READABLE_FORMAT_VERSIONS = (1, 2, 3, 4)
+_READABLE_FORMAT_VERSIONS = (1, 2, 3, 4, 5)
 
 #: File name of the manifest NPZ inside a sharded index directory.
 MANIFEST_NAME = "manifest.npz"

@@ -22,7 +22,13 @@ from typing import Callable, Mapping
 
 import numpy as np
 
-from ..distance import METRICS, resolve_dtype, resolve_metric
+from ..distance import (
+    METRICS,
+    QUANTIZE_MODES,
+    resolve_dtype,
+    resolve_metric,
+    resolve_quantize,
+)
 from ..exceptions import ValidationError
 from ..validation import check_positive_int
 
@@ -144,6 +150,16 @@ class IndexSpec:
         in-process thread pool, ``"process"`` on a persistent process pool
         of shard workers.  A pure throughput knob — results are bit-for-bit
         identical — overridable per search call.
+    quantize:
+        Compressed-domain serving mode (see :data:`QUANTIZE_MODES` in
+        :mod:`repro.distance.quantized`): ``"none"`` (the default) serves
+        with the exact kernels, bit-for-bit unchanged; ``"float16"`` and
+        ``"int8"`` store a compressed code matrix, walk the graph with
+        compressed-domain gemms and re-rank the final candidate pool with
+        the exact metric — so returned distances are always exact values
+        and quantization is purely a recall-vs-throughput knob (the floor
+        is test-pinned).  ``int8`` quantizer parameters are fitted at
+        build time and persisted with the index.
     symmetrize:
         Whether search adds reverse edges to the adjacency (recommended).
     random_state:
@@ -167,6 +183,7 @@ class IndexSpec:
     partitioner: str = "round_robin"
     shard_probe: int | None = None
     executor: str = "thread"
+    quantize: str = "none"
     symmetrize: bool = True
     random_state: int = 0
     params: Mapping = field(default_factory=dict)
@@ -215,6 +232,8 @@ class IndexSpec:
             raise ValidationError(
                 f"unknown executor {self.executor!r}; expected one of "
                 f"{list(EXECUTORS)}")
+        object.__setattr__(self, "quantize",
+                           resolve_quantize(self.quantize))
         if self.seed_sample is not None:
             object.__setattr__(self, "seed_sample", check_positive_int(
                 self.seed_sample, name="seed_sample"))
@@ -257,6 +276,7 @@ class IndexSpec:
             "partitioner": self.partitioner,
             "shard_probe": self.shard_probe,
             "executor": self.executor,
+            "quantize": self.quantize,
             "symmetrize": self.symmetrize,
             "random_state": self.random_state,
             "params": dict(self.params),
@@ -274,8 +294,8 @@ class IndexSpec:
                 f"index spec must be a mapping, got {type(payload).__name__}")
         known = {"backend", "n_neighbors", "metric", "dtype", "pool_size",
                  "n_starts", "seed_sample", "workers", "n_shards",
-                 "partitioner", "shard_probe", "executor", "symmetrize",
-                 "random_state", "params"}
+                 "partitioner", "shard_probe", "executor", "quantize",
+                 "symmetrize", "random_state", "params"}
         unknown = set(payload) - known
         if unknown:
             raise ValidationError(

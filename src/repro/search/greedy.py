@@ -20,6 +20,11 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from ..distance import DistanceEngine, resolve_metric
+from ..distance.quantized import (
+    QuantizedScorer,
+    ScalarQuantizer,
+    resolve_quantize,
+)
 from ..exceptions import GraphError
 from ..validation import (
     check_data_matrix,
@@ -27,6 +32,7 @@ from ..validation import (
     check_random_state,
     clamp_workers,
 )
+from ..graph.csr import CSRAdjacency
 from ..graph.knngraph import KNNGraph
 from ..graph.repair import (
     materialize_row_distances,
@@ -35,6 +41,7 @@ from ..graph.repair import (
 )
 from ._seeding import seed_entry_points, seed_heaps
 from .frontier import ServingStats, frontier_batch_search
+from .quantized import quantized_batch_search
 
 __all__ = ["GraphSearcher", "greedy_search", "greedy_search_batch"]
 
@@ -231,6 +238,19 @@ class GraphSearcher:
         Optional precomputed ``engine.norms(data)`` (e.g. restored from a
         saved index) — skips the O(n·d) norms pass.  Must be a ``(n,)``
         array; rejected for the ``dot`` metric, which uses no norms.
+    quantize:
+        Compressed-domain serving mode (``"none"``, ``"float16"`` or
+        ``"int8"``; see :mod:`repro.distance.quantized`).  ``"none"``
+        serves with the exact kernels — bit-for-bit today's behaviour;
+        the compressed modes serve through the beam walk of
+        :func:`~repro.search.quantized.quantized_batch_search` with exact
+        re-rank of every returned distance.
+    quantizer:
+        A restored :class:`~repro.distance.quantized.ScalarQuantizer`
+        (``int8`` parameters persisted with a saved index).  When omitted,
+        ``int8`` fits its per-dimension parameters on ``data`` at
+        construction time; those parameters then stay fixed across online
+        inserts.
     """
 
     def __init__(self, data: np.ndarray, graph: KNNGraph, *,
@@ -238,7 +258,9 @@ class GraphSearcher:
                  seed_sample: int | None = None,
                  symmetrize: bool = True, random_state=None,
                  metric: str = "sqeuclidean", dtype=np.float64,
-                 data_norms: np.ndarray | None = None) -> None:
+                 data_norms: np.ndarray | None = None,
+                 quantize: str = "none",
+                 quantizer: ScalarQuantizer | None = None) -> None:
         self.engine_ = DistanceEngine(metric, dtype)
         self.data = check_data_matrix(data, dtype=self.engine_.dtype)
         if graph.n_points != self.data.shape[0]:
@@ -272,10 +294,29 @@ class GraphSearcher:
                 raise GraphError("data_norms contains NaN or infinite values")
             self._data_norms = data_norms
         if symmetrize:
-            self._adjacency = graph.symmetrized_adjacency()
+            rows = graph.symmetrized_adjacency()
         else:
-            self._adjacency = [graph.neighbors(i)
-                               for i in range(graph.n_points)]
+            rows = [graph.neighbors(i) for i in range(graph.n_points)]
+        # The searcher's working form is the flat CSR layout — one
+        # contiguous buffer the walks slice into — built once from the
+        # per-row form the graph (and graph repair) produce.
+        self._adjacency = CSRAdjacency.from_rows(rows)
+        self.quantize = resolve_quantize(quantize)
+        if quantizer is not None:
+            if self.quantize == "none":
+                raise GraphError(
+                    "a quantizer was supplied but quantize='none'; pass "
+                    "the matching quantize mode")
+            if quantizer.mode != self.quantize:
+                raise GraphError(
+                    f"quantizer mode {quantizer.mode!r} does not match "
+                    f"quantize={self.quantize!r}")
+        self._quantizer = quantizer
+        if self.quantize != "none" and self._quantizer is None:
+            self._quantizer = ScalarQuantizer(self.quantize).fit(self.data)
+        # Code matrix + decoded norms are derived state, built lazily on
+        # the first quantized search and invalidated by inserts.
+        self._scorer: QuantizedScorer | None = None
         self.last_n_evaluations = 0
         self.last_per_query_evaluations: np.ndarray | None = None
         self.last_serving_stats: ServingStats | None = None
@@ -289,6 +330,19 @@ class GraphSearcher:
     def metric(self) -> str:
         """Canonical metric name the searcher scores queries under."""
         return self.engine_.metric
+
+    @property
+    def quantizer(self) -> ScalarQuantizer | None:
+        """The searcher's :class:`~repro.distance.quantized.ScalarQuantizer`
+        (``None`` when serving exactly)."""
+        return self._quantizer
+
+    def _quantized_scorer(self) -> QuantizedScorer:
+        """The bound compressed-domain scorer, (re)built lazily."""
+        if self._scorer is None:
+            self._scorer = QuantizedScorer(self.engine_, self._quantizer,
+                                           self.data)
+        return self._scorer
 
     def close(self) -> None:
         """Release the persistent walk pool (idempotent).
@@ -355,8 +409,9 @@ class GraphSearcher:
             distances = self.graph.distances.copy()
         data = self.data
         norms = self._data_norms
-        # Shallow copy: repair replaces adjacency rows, never mutates them.
-        adjacency = list(self._adjacency)
+        # Repair edits individual rows, so it works on the unpacked
+        # per-row form; the CSR buffers are rebuilt at commit.
+        adjacency = self._adjacency.to_rows()
         first = data.shape[0]
         ef = max(self.pool_size, 2 * n_neighbors)
         for row_vec in vectors:
@@ -386,7 +441,11 @@ class GraphSearcher:
         self.data = np.ascontiguousarray(data)
         self.graph = KNNGraph(indices, distances, metric=self.graph.metric)
         self._data_norms = norms
-        self._adjacency = adjacency
+        self._adjacency = CSRAdjacency.from_rows(adjacency)
+        # New rows are encoded with the build-time quantizer parameters;
+        # the code matrix itself is derived state and is rebuilt on the
+        # next quantized search.
+        self._scorer = None
         return np.arange(first, data.shape[0], dtype=np.int64)
 
     def query(self, query: np.ndarray, n_results: int = 10, *,
@@ -406,12 +465,23 @@ class GraphSearcher:
         n_results = check_positive_int(n_results, name="n_results",
                                        maximum=self.data.shape[0])
         pool = self.pool_size if pool_size is None else pool_size
-        indices, distances, evaluations = greedy_search(
-            self.data, self._adjacency, query, n_results,
-            pool_size=pool, n_starts=self.n_starts,
-            seed_sample=self.seed_sample,
-            rng=self._rng if rng is None else rng,
-            engine=self.engine_, data_norms=self._data_norms)
+        if self.quantize != "none":
+            idx, dist, evals, _ = quantized_batch_search(
+                self.data, self._adjacency, query[None, :], n_results,
+                self._quantized_scorer(), pool_size=pool,
+                n_starts=self.n_starts, seed_sample=self.seed_sample,
+                rng=self._rng if rng is None else rng,
+                engine=self.engine_, data_norms=self._data_norms)
+            reached = idx[0] >= 0
+            indices, distances = idx[0][reached], dist[0][reached]
+            evaluations = int(evals[0])
+        else:
+            indices, distances, evaluations = greedy_search(
+                self.data, self._adjacency, query, n_results,
+                pool_size=pool, n_starts=self.n_starts,
+                seed_sample=self.seed_sample,
+                rng=self._rng if rng is None else rng,
+                engine=self.engine_, data_norms=self._data_norms)
         self.last_n_evaluations = evaluations
         self.last_per_query_evaluations = np.array([evaluations],
                                                    dtype=np.int64)
@@ -467,7 +537,17 @@ class GraphSearcher:
             seed_sample=self.seed_sample,
             rng=self._rng if rng is None else rng,
             engine=self.engine_, data_norms=self._data_norms)
-        if strategy == "frontier":
+        if self.quantize != "none":
+            # Both strategies serve through the compressed-domain beam
+            # walk — the per-query/frontier split is an exact-path
+            # distinction (the quantized walk is recall-gated, not
+            # parity-gated, so it has no sequential oracle to dispatch).
+            out_idx, out_dist, evaluations, stats = quantized_batch_search(
+                self.data, self._adjacency, queries, n_results,
+                self._quantized_scorer(), workers=workers,
+                executor=self._group_walk_pool(workers), **common)
+            self.last_serving_stats = stats
+        elif strategy == "frontier":
             out_idx, out_dist, evaluations, stats = frontier_batch_search(
                 self.data, self._adjacency, queries, n_results,
                 workers=workers, executor=self._group_walk_pool(workers),

@@ -1,9 +1,10 @@
 """Docstring-coverage gate for the public index/serving facade.
 
 CI enforces ruff's pydocstyle coverage rules (``D1``/``D419``) for
-``src/repro/index/`` and ``src/repro/serving/``; this test applies the
-same check through ``ast`` so the gate also runs where ruff is not
-installed (the tier-1 environment).  Scope and exemptions mirror the
+``src/repro/index/``, ``src/repro/serving/``, ``src/repro/distance/``
+and ``src/repro/graph/``; this test applies the same check through
+``ast`` so the gate also runs where ruff is not installed (the tier-1
+environment).  Scope and exemptions mirror the
 pyproject configuration: every module, public class and public function
 (dunders ``__init__`` and magic methods excluded, ``_private`` names
 excluded) must carry a non-empty docstring.
@@ -17,7 +18,7 @@ import pytest
 import repro
 
 PACKAGE_ROOT = os.path.dirname(repro.__file__)
-CHECKED_PACKAGES = ("index", "serving")
+CHECKED_PACKAGES = ("index", "serving", "distance", "graph")
 
 
 def _checked_modules():

@@ -233,7 +233,7 @@ class TestMonoMutationOracle:
         index.save(path)
         with np.load(path, allow_pickle=False) as archive:
             payload = {key: archive[key] for key in archive.files}
-        assert int(payload["format_version"]) == FORMAT_VERSION == 2
+        assert int(payload["format_version"]) == FORMAT_VERSION == 3
         for key in ("ids", "tombstones", "next_id", "generation"):
             del payload[key]
         payload["format_version"] = np.int64(1)

@@ -348,6 +348,7 @@ class TestManifestBackCompat:
         manifest["sharded_format_version"] = np.int64(1)
         payload = json.loads(str(manifest["spec_json"]))
         del payload["shard_probe"]
+        payload.pop("quantize", None)
         manifest["spec_json"] = np.asarray(
             json.dumps(payload, sort_keys=True))
         np.savez(path / "manifest.npz", **manifest)
@@ -375,13 +376,13 @@ class TestManifestBackCompat:
 
     def test_resave_upgrades_to_current_format(self, v1_directory,
                                                tmp_path):
-        """A v1 directory round-trips into the current (v4) layout."""
+        """A v1 directory round-trips into the current (v5) layout."""
         restored = ShardedIndex.load(v1_directory[1])
         upgraded_path = tmp_path / "upgraded.shards"
         restored.save(upgraded_path)
         with np.load(upgraded_path / "manifest.npz",
                      allow_pickle=False) as archive:
-            assert int(archive["sharded_format_version"]) == 4
+            assert int(archive["sharded_format_version"]) == 5
             assert "centroids" not in archive.files
             assert int(archive["generation"]) == 0
             assert "endpoints" not in archive.files
